@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation ABL-PAR: parallelizing lifeguards across cores (paper
+ * Section 1: "the lifeguard functionality can be split across multiple
+ * cores"; Section 3 lists it as an overhead-reduction direction).
+ * Address-sharded AddrCheck and LockSet; TaintCheck is excluded because
+ * its register state serializes the stream (see core/parallel.h).
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace lba;
+    std::uint64_t instrs = bench::benchInstructions();
+
+    std::printf("Ablation: parallel lifeguard cores (log sharded by "
+                "address)\n\n");
+    struct Case
+    {
+        const char* benchmark;
+        const char* lifeguard;
+        core::LifeguardFactory factory;
+    };
+    std::vector<Case> cases = {
+        {"mcf", "AddrCheck", bench::makeAddrCheck()},
+        {"zchaff", "LockSet", bench::makeLockSet()},
+    };
+
+    for (const Case& c : cases) {
+        auto generated = workload::generate(
+            *workload::findProfile(c.benchmark), {}, instrs);
+        core::Experiment exp(generated.program);
+        stats::Table table(
+            {"lifeguard cores", "slowdown", "speedup vs 1 core"});
+        double base = 0;
+        for (unsigned shards : {1u, 2u, 4u}) {
+            auto result =
+                exp.runParallelLba(c.factory, shards);
+            if (shards == 1) base = result.slowdown;
+            table.addRow({std::to_string(shards),
+                          stats::formatSlowdown(result.slowdown),
+                          stats::formatDouble(base / result.slowdown,
+                                              2)});
+        }
+        std::printf("%s on %s\n%s\n", c.lifeguard, c.benchmark,
+                    table.toString().c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Ablation ABL-STALL: cost of syscall containment (paper Section 2: the
+ * OS stalls each syscall until the lifeguard drains the log, preventing
+ * error propagation beyond the process container). Compares syscall-heavy
+ * and syscall-light workloads with containment on/off.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace lba;
+    std::uint64_t instrs = bench::benchInstructions();
+
+    std::printf("Ablation: syscall-containment stall, AddrCheck\n");
+    std::printf("(tidy/bc are syscall-heavy via allocation churn; mcf "
+                "is syscall-light)\n\n");
+    stats::Table table({"benchmark", "syscall drains", "no-stall",
+                        "with stall", "containment cost"});
+    for (const char* name : {"tidy", "bc", "gzip", "mcf"}) {
+        auto generated =
+            workload::generate(*workload::findProfile(name), {}, instrs);
+        core::Experiment exp(generated.program);
+
+        core::LbaConfig off = exp.config().lba;
+        off.syscall_stall = false;
+        auto without = exp.runLba(bench::makeAddrCheck(), off);
+
+        core::LbaConfig on = exp.config().lba;
+        on.syscall_stall = true;
+        auto with = exp.runLba(bench::makeAddrCheck(), on);
+
+        table.addRow(
+            {name, std::to_string(with.lba.syscall_drains),
+             stats::formatSlowdown(without.slowdown),
+             stats::formatSlowdown(with.slowdown),
+             stats::formatDouble(100.0 *
+                                     (with.slowdown - without.slowdown) /
+                                     without.slowdown,
+                                 2) +
+                 "%"});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    return 0;
+}

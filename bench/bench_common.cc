@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared bench helpers.
+ */
+
+#include "bench_common.h"
+
+#include <cstdio>
+
+namespace lba::bench {
+
+std::vector<SuiteRow>
+runSuite(const std::vector<workload::Profile>& profiles,
+         const core::LifeguardFactory& factory,
+         std::uint64_t instructions)
+{
+    std::vector<SuiteRow> rows;
+    for (const workload::Profile& profile : profiles) {
+        auto generated = workload::generate(profile, {}, instructions);
+        core::Experiment exp(generated.program);
+        auto dbi = exp.runDbi(factory);
+        auto lba = exp.runLba(factory);
+        SuiteRow row;
+        row.benchmark = profile.name;
+        row.instructions = exp.unmonitored().instructions;
+        row.valgrind_slowdown = dbi.slowdown;
+        row.lba_slowdown = lba.slowdown;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+void
+printFigurePanel(const std::string& title,
+                 const std::string& lifeguard_name,
+                 const std::vector<SuiteRow>& rows)
+{
+    std::printf("%s\n", title.c_str());
+    std::printf("normalized execution time (1.0 = unmonitored), "
+                "v = Valgrind-style DBI, l = LBA\n\n");
+    stats::Table table(
+        {"benchmark", "instrs", lifeguard_name + " (v)",
+         lifeguard_name + " (l)", "LBA speedup"});
+    double vsum = 0, lsum = 0;
+    for (const SuiteRow& row : rows) {
+        table.addRow({row.benchmark, std::to_string(row.instructions),
+                      stats::formatSlowdown(row.valgrind_slowdown),
+                      stats::formatSlowdown(row.lba_slowdown),
+                      stats::formatSlowdown(row.valgrind_slowdown /
+                                            row.lba_slowdown)});
+        vsum += row.valgrind_slowdown;
+        lsum += row.lba_slowdown;
+    }
+    table.addRow({"(average)", "",
+                  stats::formatSlowdown(vsum / rows.size()),
+                  stats::formatSlowdown(lsum / rows.size()),
+                  stats::formatSlowdown(vsum / lsum)});
+    std::printf("%s\n", table.toString().c_str());
+}
+
+} // namespace lba::bench

@@ -1,0 +1,79 @@
+#pragma once
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries.
+ *
+ * Every bench prints the rows of one table/figure from the paper
+ * (DESIGN.md maps artifact -> binary). Scale via LBA_BENCH_INSTRS
+ * (dynamic instructions per benchmark; default 250k, the paper ran
+ * ~209M — slowdowns are per-instruction rates, so the shape is
+ * scale-invariant, which ablation_scaling verifies).
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "lifeguards/addrcheck.h"
+#include "lifeguards/lockset.h"
+#include "lifeguards/taintcheck.h"
+#include "stats/table.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+namespace lba::bench {
+
+/** Instruction budget per benchmark, from LBA_BENCH_INSTRS. */
+inline std::uint64_t
+benchInstructions(std::uint64_t fallback = 250'000)
+{
+    const char* env = std::getenv("LBA_BENCH_INSTRS");
+    if (!env) return fallback;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    return (end && *end == '\0' && v > 0) ? v : fallback;
+}
+
+/** Named lifeguard factories. */
+inline core::LifeguardFactory
+makeAddrCheck()
+{
+    return [] { return std::make_unique<lifeguards::AddrCheck>(); };
+}
+
+inline core::LifeguardFactory
+makeTaintCheck()
+{
+    return [] { return std::make_unique<lifeguards::TaintCheck>(); };
+}
+
+inline core::LifeguardFactory
+makeLockSet()
+{
+    return [] { return std::make_unique<lifeguards::LockSet>(); };
+}
+
+/** One benchmark's platform comparison. */
+struct SuiteRow
+{
+    std::string benchmark;
+    std::uint64_t instructions = 0;
+    double valgrind_slowdown = 0.0;
+    double lba_slowdown = 0.0;
+};
+
+/** Run {unmonitored, DBI, LBA} for each profile under one lifeguard. */
+std::vector<SuiteRow> runSuite(
+    const std::vector<workload::Profile>& profiles,
+    const core::LifeguardFactory& factory, std::uint64_t instructions);
+
+/** Print a Figure-2-style panel. */
+void printFigurePanel(const std::string& title,
+                      const std::string& lifeguard_name,
+                      const std::vector<SuiteRow>& rows);
+
+} // namespace lba::bench

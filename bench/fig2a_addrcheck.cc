@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reproduces Figure 2(a): execution times of AddrCheck under a
+ * Valgrind-style DBI baseline (v) and under LBA (l), normalized to
+ * unmonitored execution, on the seven single-threaded benchmarks.
+ *
+ * Paper reference points: Valgrind lifeguards fall in the 10-85X band;
+ * LBA AddrCheck averages 3.9X; LBA is 4-19X faster than Valgrind.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace lba;
+    auto rows = bench::runSuite(workload::singleThreadedSuite(),
+                                bench::makeAddrCheck(),
+                                bench::benchInstructions());
+    bench::printFigurePanel(
+        "Figure 2(a): AddrCheck, LBA vs Valgrind-style DBI",
+        "AddrCheck", rows);
+    return 0;
+}

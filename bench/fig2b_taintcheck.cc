@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Reproduces Figure 2(b): execution times of TaintCheck under the DBI
+ * baseline (v) and LBA (l), normalized to unmonitored execution, on the
+ * seven single-threaded benchmarks.
+ *
+ * Paper reference point: LBA TaintCheck averages 4.8X.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace lba;
+    auto rows = bench::runSuite(workload::singleThreadedSuite(),
+                                bench::makeTaintCheck(),
+                                bench::benchInstructions());
+    bench::printFigurePanel(
+        "Figure 2(b): TaintCheck, LBA vs Valgrind-style DBI",
+        "TaintCheck", rows);
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reproduces Figure 2(c): execution times of LockSet under the DBI
+ * baseline (v) and LBA (l), normalized to unmonitored execution, on the
+ * two multithreaded benchmarks (water, zchaff).
+ *
+ * Paper reference point: LBA LockSet averages 9.7X — the most expensive
+ * of the three lifeguards.
+ */
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace lba;
+    auto rows = bench::runSuite(workload::multiThreadedSuite(),
+                                bench::makeLockSet(),
+                                bench::benchInstructions());
+    bench::printFigurePanel(
+        "Figure 2(c): LockSet, LBA vs Valgrind-style DBI", "LockSet",
+        rows);
+    return 0;
+}

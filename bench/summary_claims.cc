@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces the paper's aggregate quantitative claims (Section 3):
+ *   - Valgrind lifeguards incur 10-85X slowdowns;
+ *   - LBA lifeguards are 4-19X faster than Valgrind lifeguards;
+ *   - average LBA slowdowns: 3.9X AddrCheck, 4.8X TaintCheck,
+ *     9.7X LockSet.
+ * Prints measured vs paper for each claim.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+int
+main()
+{
+    using namespace lba;
+    std::uint64_t instrs = bench::benchInstructions();
+
+    auto ac = bench::runSuite(workload::singleThreadedSuite(),
+                              bench::makeAddrCheck(), instrs);
+    auto tc = bench::runSuite(workload::singleThreadedSuite(),
+                              bench::makeTaintCheck(), instrs);
+    auto ls = bench::runSuite(workload::multiThreadedSuite(),
+                              bench::makeLockSet(), instrs);
+
+    double vmin = 1e9, vmax = 0, rmin = 1e9, rmax = 0;
+    auto scan = [&](const std::vector<bench::SuiteRow>& rows) {
+        for (const auto& r : rows) {
+            vmin = std::min(vmin, r.valgrind_slowdown);
+            vmax = std::max(vmax, r.valgrind_slowdown);
+            double ratio = r.valgrind_slowdown / r.lba_slowdown;
+            rmin = std::min(rmin, ratio);
+            rmax = std::max(rmax, ratio);
+        }
+    };
+    scan(ac);
+    scan(tc);
+    scan(ls);
+
+    auto avg = [](const std::vector<bench::SuiteRow>& rows) {
+        double s = 0;
+        for (const auto& r : rows) s += r.lba_slowdown;
+        return s / rows.size();
+    };
+
+    std::printf("Aggregate claims (paper Section 3)\n\n");
+    stats::Table table({"claim", "paper", "measured"});
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.0f-%.0fx", vmin, vmax);
+    table.addRow({"Valgrind lifeguard slowdown range", "10-85x", buf});
+    std::snprintf(buf, sizeof(buf), "%.1f-%.1fx", rmin, rmax);
+    table.addRow({"LBA speedup over Valgrind", "4-19x", buf});
+    table.addRow({"LBA AddrCheck average slowdown", "3.9x",
+                  stats::formatSlowdown(avg(ac))});
+    table.addRow({"LBA TaintCheck average slowdown", "4.8x",
+                  stats::formatSlowdown(avg(tc))});
+    table.addRow({"LBA LockSet average slowdown", "9.7x",
+                  stats::formatSlowdown(avg(ls))});
+    std::printf("%s\n", table.toString().c_str());
+    return 0;
+}

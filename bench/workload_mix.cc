@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Reproduces the Section 3 workload characterization: "On average, a
+ * benchmark executes 209 million x86 instructions, of which 51% are
+ * memory references." Instruction counts are scaled down (~100x by
+ * default); the memory-reference mix is the reproduction target.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sim/process.h"
+
+int
+main()
+{
+    using namespace lba;
+    std::uint64_t instrs = bench::benchInstructions();
+
+    std::printf("Workload characterization (paper Section 3)\n\n");
+    stats::Table table({"benchmark", "threads", "instructions",
+                        "mem refs", "mem %", "branches %", "allocs"});
+
+    double mem_sum = 0.0;
+    std::uint64_t instr_sum = 0;
+    class AllocCounter : public sim::RetireObserver
+    {
+      public:
+        void onRetire(const sim::Retired&) override {}
+        void
+        onOsEvent(const sim::OsEvent& e) override
+        {
+            if (e.type == sim::OsEventType::kAlloc) ++allocs;
+        }
+        std::uint64_t allocs = 0;
+    };
+
+    for (const workload::Profile& profile : workload::fullSuite()) {
+        auto generated = workload::generate(profile, {}, instrs);
+        sim::Process process;
+        process.load(generated.program);
+        AllocCounter counter;
+        sim::RunResult result = process.run(&counter);
+
+        double mem_frac =
+            static_cast<double>(process.memRefs()) /
+            static_cast<double>(result.instructions);
+        double branch_frac =
+            static_cast<double>(
+                process.classCounts()[static_cast<int>(
+                    isa::InstrClass::kBranch)]) /
+            static_cast<double>(result.instructions);
+        mem_sum += mem_frac;
+        instr_sum += result.instructions;
+
+        table.addRow({profile.name, std::to_string(profile.threads),
+                      std::to_string(result.instructions),
+                      std::to_string(process.memRefs()),
+                      stats::formatDouble(mem_frac * 100, 1),
+                      stats::formatDouble(branch_frac * 100, 1),
+                      std::to_string(counter.allocs)});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("suite average: %llu instructions/benchmark, "
+                "%.1f%% memory references (paper: 209M scaled, 51%%)\n",
+                static_cast<unsigned long long>(instr_sum /
+                                                workload::fullSuite()
+                                                    .size()),
+                100.0 * mem_sum / workload::fullSuite().size());
+    return 0;
+}

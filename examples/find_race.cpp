@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Data-race scenario: two threads update a shared counter; the buggy
+ * version omits the lock, the fixed version takes it. LockSet (Eraser)
+ * on the lifeguard core flags the buggy version and stays silent on the
+ * fixed one — no false positive.
+ *
+ * Built on the workload generator's multithreaded "water" profile with
+ * and without race injection, so the race is embedded in a realistic
+ * instruction stream rather than a toy loop.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "core/runner.h"
+#include "lifeguards/lockset.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+namespace {
+
+lba::core::PlatformResult
+run(bool inject_race)
+{
+    using namespace lba;
+    workload::BugInjection bugs;
+    bugs.race = inject_race;
+    auto generated = workload::generate(
+        *workload::findProfile("water"), bugs, 80000);
+    core::Experiment experiment(generated.program);
+    return experiment.runLba(
+        [] { return std::make_unique<lifeguards::LockSet>(); });
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace lba;
+
+    std::printf("=== LockSet race detection ===\n\n");
+
+    std::printf("1) buggy build: both threads write the shared region "
+                "without the lock\n");
+    auto buggy = run(/*inject_race=*/true);
+    std::printf("   findings (%zu):\n", buggy.findings.size());
+    for (const auto& finding : buggy.findings) {
+        std::printf("     %s\n", lifeguard::toString(finding).c_str());
+    }
+
+    std::printf("\n2) fixed build: every shared access inside "
+                "lock/unlock\n");
+    auto fixed = run(/*inject_race=*/false);
+    std::printf("   findings: %zu (expected 0)\n",
+                fixed.findings.size());
+
+    std::printf("\nLockSet slowdown on this workload: %.1fx "
+                "(paper average: 9.7x)\n",
+                fixed.slowdown);
+
+    bool ok = !buggy.findings.empty() && fixed.findings.empty();
+    std::printf("race %s, clean run %s\n",
+                buggy.findings.empty() ? "MISSED" : "DETECTED",
+                fixed.findings.empty() ? "CLEAN" : "FALSE POSITIVE");
+    return ok ? 0 : 1;
+}

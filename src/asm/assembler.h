@@ -1,0 +1,53 @@
+#pragma once
+/**
+ * @file
+ * Two-pass text assembler for the LRISC ISA.
+ *
+ * Accepted syntax (one instruction per line):
+ * @code
+ *   ; comments start with ';' or '#'
+ *   loop:                  ; labels end with ':'
+ *       li   r1, 100
+ *       addi r1, r1, -1
+ *       ld   r2, 8(r5)     ; loads/stores use offset(base)
+ *       sd   r2, 0(r5)
+ *       bne  r1, r0, loop  ; control flow may target labels or
+ *       jmp  16            ; numeric pc-relative byte offsets
+ *       syscall 1
+ *       halt
+ * @endcode
+ *
+ * Register operands are written r0..r31; the aliases sp (r29), lr (r30)
+ * and at (r31) are also accepted.
+ */
+
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace lba::assembler {
+
+/** Outcome of assembling a source string. */
+struct AssembleResult
+{
+    /** The assembled program (empty on failure). */
+    std::vector<isa::Instruction> program;
+    /** Human-readable error description (empty on success). */
+    std::string error;
+    /** 1-based source line of the error (0 on success). */
+    int error_line = 0;
+
+    /** True when assembly succeeded. */
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * Assemble LRISC source text.
+ *
+ * @param source The program text.
+ * @return The program, or an error with the offending line number.
+ */
+AssembleResult assemble(const std::string& source);
+
+} // namespace lba::assembler

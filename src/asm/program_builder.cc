@@ -1,0 +1,201 @@
+/**
+ * @file
+ * ProgramBuilder implementation.
+ */
+
+#include "asm/program_builder.h"
+
+#include <limits>
+
+#include "common/assert.h"
+
+namespace lba::assembler {
+
+using isa::Instruction;
+using isa::Opcode;
+
+Label
+ProgramBuilder::newLabel()
+{
+    Label label{static_cast<std::uint32_t>(label_positions_.size())};
+    label_positions_.push_back(-1);
+    return label;
+}
+
+void
+ProgramBuilder::bind(Label label)
+{
+    LBA_ASSERT(label.id < label_positions_.size(), "unknown label");
+    LBA_ASSERT(label_positions_[label.id] < 0, "label bound twice");
+    label_positions_[label.id] = static_cast<std::int64_t>(instrs_.size());
+}
+
+void
+ProgramBuilder::emit(const Instruction& instr)
+{
+    instrs_.push_back(instr);
+}
+
+void
+ProgramBuilder::nop()
+{
+    emit({Opcode::kNop, 0, 0, 0, 0});
+}
+
+void
+ProgramBuilder::halt()
+{
+    emit({Opcode::kHalt, 0, 0, 0, 0});
+}
+
+void
+ProgramBuilder::li(RegIndex rd, std::int32_t imm)
+{
+    emit({Opcode::kLi, rd, 0, 0, imm});
+}
+
+void
+ProgramBuilder::lih(RegIndex rd, std::int32_t imm_high)
+{
+    emit({Opcode::kLih, rd, 0, 0, imm_high});
+}
+
+void
+ProgramBuilder::mov(RegIndex rd, RegIndex rs1)
+{
+    emit({Opcode::kMov, rd, rs1, 0, 0});
+}
+
+void
+ProgramBuilder::alu(Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2)
+{
+    LBA_ASSERT(isa::classOf(op) == isa::InstrClass::kIntAlu &&
+                   isa::readsRs2(op),
+               "alu() requires a register-register ALU opcode");
+    emit({op, rd, rs1, rs2, 0});
+}
+
+void
+ProgramBuilder::alui(Opcode op, RegIndex rd, RegIndex rs1, std::int32_t imm)
+{
+    LBA_ASSERT(isa::classOf(op) == isa::InstrClass::kIntAlu &&
+                   !isa::readsRs2(op),
+               "alui() requires a register-immediate ALU opcode");
+    emit({op, rd, rs1, 0, imm});
+}
+
+void
+ProgramBuilder::load(Opcode op, RegIndex rd, RegIndex base, std::int32_t off)
+{
+    LBA_ASSERT(isa::isLoad(op), "load() requires a load opcode");
+    emit({op, rd, base, 0, off});
+}
+
+void
+ProgramBuilder::store(Opcode op, RegIndex val, RegIndex base,
+                      std::int32_t off)
+{
+    LBA_ASSERT(isa::isStore(op), "store() requires a store opcode");
+    emit({op, 0, base, val, off});
+}
+
+void
+ProgramBuilder::branch(Opcode op, RegIndex rs1, RegIndex rs2, Label target)
+{
+    LBA_ASSERT(isa::classOf(op) == isa::InstrClass::kBranch,
+               "branch() requires a branch opcode");
+    fixups_.push_back({instrs_.size(), target.id});
+    emit({op, 0, rs1, rs2, 0});
+}
+
+void
+ProgramBuilder::jmp(Label target)
+{
+    fixups_.push_back({instrs_.size(), target.id});
+    emit({Opcode::kJmp, 0, 0, 0, 0});
+}
+
+void
+ProgramBuilder::jr(RegIndex rs1)
+{
+    emit({Opcode::kJr, 0, rs1, 0, 0});
+}
+
+void
+ProgramBuilder::call(Label target)
+{
+    fixups_.push_back({instrs_.size(), target.id});
+    emit({Opcode::kCall, 0, 0, 0, 0});
+}
+
+void
+ProgramBuilder::callr(RegIndex rs1)
+{
+    emit({Opcode::kCallr, 0, rs1, 0, 0});
+}
+
+void
+ProgramBuilder::ret()
+{
+    emit({Opcode::kRet, 0, 0, 0, 0});
+}
+
+void
+ProgramBuilder::syscall(std::int32_t number)
+{
+    emit({Opcode::kSyscall, 0, 0, 0, number});
+}
+
+void
+ProgramBuilder::li64(RegIndex rd, std::uint64_t value)
+{
+    auto low = static_cast<std::int32_t>(value & 0xffffffffu);
+    auto high = static_cast<std::int32_t>(value >> 32);
+    li(rd, low);
+    // li sign-extends; when the sign extension already produces the right
+    // high half we can skip the lih.
+    if (static_cast<std::uint64_t>(static_cast<std::int64_t>(low)) != value)
+        lih(rd, high);
+}
+
+void
+ProgramBuilder::liLabel(RegIndex rd, Label target)
+{
+    fixups_.push_back({instrs_.size(), target.id, true});
+    li(rd, 0);
+}
+
+std::vector<isa::Instruction>
+ProgramBuilder::build(Addr base_addr, std::string* error)
+{
+    for (const Fixup& fixup : fixups_) {
+        std::int64_t pos = label_positions_[fixup.label_id];
+        if (pos < 0) {
+            if (error) *error = "unbound label referenced by instruction";
+            return {};
+        }
+        std::int64_t value;
+        if (fixup.absolute) {
+            value = static_cast<std::int64_t>(base_addr) +
+                    pos * isa::kInstrBytes;
+        } else {
+            std::int64_t delta_instrs =
+                pos - static_cast<std::int64_t>(fixup.instr_index);
+            value = delta_instrs * isa::kInstrBytes;
+        }
+        if (value < std::numeric_limits<std::int32_t>::min() ||
+            value > std::numeric_limits<std::int32_t>::max()) {
+            if (error) {
+                *error = fixup.absolute
+                             ? "label address exceeds 32-bit range"
+                             : "branch offset exceeds 32-bit range";
+            }
+            return {};
+        }
+        instrs_[fixup.instr_index].imm = static_cast<std::int32_t>(value);
+    }
+    if (error) error->clear();
+    return instrs_;
+}
+
+} // namespace lba::assembler

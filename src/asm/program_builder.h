@@ -1,0 +1,101 @@
+#pragma once
+/**
+ * @file
+ * ProgramBuilder: a C++ API for constructing LRISC programs with symbolic
+ * labels. This is the interface the synthetic-workload generator uses; the
+ * text assembler (assembler.h) provides the same capability for humans.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace lba::assembler {
+
+/** Opaque handle for a forward-referenceable code label. */
+struct Label
+{
+    std::uint32_t id = 0;
+};
+
+/**
+ * Incrementally builds an instruction sequence, resolving label-relative
+ * control transfers in a final fixup pass.
+ *
+ * All emit helpers append exactly one instruction except li64(), which may
+ * emit one or two. Positions are instruction indices; the program's base
+ * address is supplied at build() time to compute byte offsets.
+ */
+class ProgramBuilder
+{
+  public:
+    /** Create a fresh label (unbound). */
+    Label newLabel();
+
+    /** Bind @p label to the current end-of-program position. */
+    void bind(Label label);
+
+    /** Append a raw instruction. */
+    void emit(const isa::Instruction& instr);
+
+    // --- Convenience emitters (one instruction each) ---
+    void nop();
+    void halt();
+    void li(RegIndex rd, std::int32_t imm);
+    void lih(RegIndex rd, std::int32_t imm_high);
+    void mov(RegIndex rd, RegIndex rs1);
+    void alu(isa::Opcode op, RegIndex rd, RegIndex rs1, RegIndex rs2);
+    void alui(isa::Opcode op, RegIndex rd, RegIndex rs1, std::int32_t imm);
+    void load(isa::Opcode op, RegIndex rd, RegIndex base, std::int32_t off);
+    void store(isa::Opcode op, RegIndex val, RegIndex base,
+               std::int32_t off);
+    void branch(isa::Opcode op, RegIndex rs1, RegIndex rs2, Label target);
+    void jmp(Label target);
+    void jr(RegIndex rs1);
+    void call(Label target);
+    void callr(RegIndex rs1);
+    void ret();
+    void syscall(std::int32_t number);
+
+    /** Load an arbitrary 64-bit constant (1 or 2 instructions). */
+    void li64(RegIndex rd, std::uint64_t value);
+
+    /**
+     * Load the absolute address of @p target into @p rd (one li; the
+     * value is patched at build() time from the base address). Used to
+     * materialize thread entry points and indirect-jump targets.
+     */
+    void liLabel(RegIndex rd, Label target);
+
+    /** Number of instructions emitted so far. */
+    std::size_t size() const { return instrs_.size(); }
+
+    /**
+     * Resolve all label references and return the finished program.
+     *
+     * @param base_addr Address the first instruction will be loaded at
+     *                  (needed because control transfers are pc-relative).
+     * @param error Receives a description when building fails.
+     * @return The program, or an empty vector on error (unbound label,
+     *         branch offset overflow).
+     */
+    std::vector<isa::Instruction> build(Addr base_addr,
+                                        std::string* error = nullptr);
+
+  private:
+    struct Fixup
+    {
+        std::size_t instr_index;
+        std::uint32_t label_id;
+        /** False: pc-relative byte offset; true: absolute address. */
+        bool absolute = false;
+    };
+
+    std::vector<isa::Instruction> instrs_;
+    std::vector<std::int64_t> label_positions_; // -1 while unbound
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace lba::assembler

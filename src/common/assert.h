@@ -1,0 +1,42 @@
+#pragma once
+/**
+ * @file
+ * Internal invariant checking for the LBA libraries.
+ *
+ * Follows the gem5 panic()/fatal() distinction:
+ *  - LBA_ASSERT / lba::panic  -- internal invariant violated (library bug);
+ *    aborts so a debugger or core dump can capture the state.
+ *  - lba::fatal               -- user error (bad configuration, malformed
+ *    input); exits with an error code.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lba {
+
+/** Print a formatted message and abort (library bug). */
+[[noreturn]] inline void
+panicAt(const char* file, int line, const char* msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg);
+    std::abort();
+}
+
+/** Print a formatted message and exit(1) (user error). */
+[[noreturn]] inline void
+fatal(const char* msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg);
+    std::exit(1);
+}
+
+} // namespace lba
+
+/** Assert an internal invariant; always enabled (cheap checks only). */
+#define LBA_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::lba::panicAt(__FILE__, __LINE__, msg);                        \
+        }                                                                   \
+    } while (0)

@@ -1,0 +1,26 @@
+#pragma once
+/**
+ * @file
+ * Fundamental scalar types shared by all LBA libraries.
+ */
+
+#include <cstdint>
+
+namespace lba {
+
+/** Virtual address in the simulated machine (byte-granular, 64-bit). */
+using Addr = std::uint64_t;
+
+/** Simulated-machine cycle count. */
+using Cycles = std::uint64_t;
+
+/** Simulated thread identifier (dense, starting at 0). */
+using ThreadId = std::uint16_t;
+
+/** Architectural register index. */
+using RegIndex = std::uint8_t;
+
+/** Register value width of the simulated machine. */
+using Word = std::uint64_t;
+
+} // namespace lba

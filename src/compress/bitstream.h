@@ -1,0 +1,144 @@
+#pragma once
+/**
+ * @file
+ * Bit-granular output/input streams used by the log compressor.
+ *
+ * The compressor's whole point (paper Section 2) is to get the event
+ * stream under one byte per instruction, so records must be bit-packed;
+ * byte-aligned encodings cannot reach the target. Bits are filled LSB
+ * first within each byte.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace lba::compress {
+
+/** Append-only bit stream writer. */
+class BitWriter
+{
+  public:
+    /** Append the low @p count bits of @p value (count <= 64). */
+    void
+    writeBits(std::uint64_t value, unsigned count)
+    {
+        LBA_ASSERT(count <= 64, "cannot write more than 64 bits");
+        for (unsigned i = 0; i < count; ++i) {
+            if (bit_pos_ == 0) bytes_.push_back(0);
+            if ((value >> i) & 1) {
+                bytes_.back() |=
+                    static_cast<std::uint8_t>(1u << bit_pos_);
+            }
+            bit_pos_ = (bit_pos_ + 1) % 8;
+        }
+    }
+
+    /** Append one bit. */
+    void writeBit(bool bit) { writeBits(bit ? 1 : 0, 1); }
+
+    /**
+     * Append an unsigned LEB128-style varint: 7 value bits per group,
+     * high bit of each group set when more groups follow.
+     */
+    void
+    writeVarint(std::uint64_t value)
+    {
+        do {
+            std::uint64_t group = value & 0x7f;
+            value >>= 7;
+            writeBits(group | (value ? 0x80 : 0), 8);
+        } while (value);
+    }
+
+    /** Total bits written so far. */
+    std::uint64_t bitCount() const
+    {
+        return bytes_.empty()
+                   ? 0
+                   : (bytes_.size() - 1) * 8 +
+                         (bit_pos_ == 0 ? 8 : bit_pos_);
+    }
+
+    /** The backing bytes (the final byte may be partially filled). */
+    const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    unsigned bit_pos_ = 0; // next free bit index within bytes_.back()
+};
+
+/** Sequential bit stream reader over a byte buffer. */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<std::uint8_t>& bytes)
+        : bytes_(bytes)
+    {
+    }
+
+    /** Read @p count bits (LSB-first order, matching BitWriter). */
+    std::uint64_t
+    readBits(unsigned count)
+    {
+        LBA_ASSERT(count <= 64, "cannot read more than 64 bits");
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < count; ++i) {
+            std::size_t byte = pos_ / 8;
+            LBA_ASSERT(byte < bytes_.size(), "bit stream underrun");
+            if ((bytes_[byte] >> (pos_ % 8)) & 1) {
+                value |= 1ull << i;
+            }
+            ++pos_;
+        }
+        return value;
+    }
+
+    /** Read one bit. */
+    bool readBit() { return readBits(1) != 0; }
+
+    /** Read a varint written by BitWriter::writeVarint. */
+    std::uint64_t
+    readVarint()
+    {
+        std::uint64_t value = 0;
+        unsigned shift = 0;
+        while (true) {
+            std::uint64_t group = readBits(8);
+            value |= (group & 0x7f) << shift;
+            if (!(group & 0x80)) break;
+            shift += 7;
+            LBA_ASSERT(shift < 64, "varint too long");
+        }
+        return value;
+    }
+
+    /** Bits consumed so far. */
+    std::uint64_t bitPos() const { return pos_; }
+
+    /** True when every complete byte has been consumed. */
+    bool exhausted() const { return pos_ >= bytes_.size() * 8; }
+
+  private:
+    const std::vector<std::uint8_t>& bytes_;
+    std::uint64_t pos_ = 0;
+};
+
+/** Map a signed delta to an unsigned value with small magnitudes small. */
+inline std::uint64_t
+zigzagEncode(std::int64_t value)
+{
+    return (static_cast<std::uint64_t>(value) << 1) ^
+           static_cast<std::uint64_t>(value >> 63);
+}
+
+/** Inverse of zigzagEncode. */
+inline std::int64_t
+zigzagDecode(std::uint64_t value)
+{
+    return static_cast<std::int64_t>(value >> 1) ^
+           -static_cast<std::int64_t>(value & 1);
+}
+
+} // namespace lba::compress

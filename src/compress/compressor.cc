@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Log compressor / decompressor implementation.
+ *
+ * Invariant: every predictor update performed here is mirrored verbatim in
+ * the decompressor, keeping the two predictor banks bit-for-bit in sync.
+ */
+
+#include "compress/compressor.h"
+
+#include "common/assert.h"
+
+namespace lba::compress {
+
+using log::EventRecord;
+using log::EventType;
+
+namespace {
+
+/** True when the class carries a load/store effective address. */
+bool
+hasMemPayload(isa::InstrClass cls)
+{
+    return cls == isa::InstrClass::kLoad || cls == isa::InstrClass::kStore;
+}
+
+/** True when the class carries a control-transfer payload. */
+bool
+hasCtrlPayload(isa::InstrClass cls)
+{
+    switch (cls) {
+      case isa::InstrClass::kBranch:
+      case isa::InstrClass::kJump:
+      case isa::InstrClass::kIndirectJump:
+      case isa::InstrClass::kCall:
+      case isa::InstrClass::kIndirectCall:
+      case isa::InstrClass::kReturn:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+LogCompressor::append(const EventRecord& record)
+{
+    ++records_;
+    std::uint64_t mark = writer_.bitCount();
+    auto take = [&](std::uint64_t& sink) {
+        std::uint64_t now = writer_.bitCount();
+        sink += now - mark;
+        mark = now;
+    };
+
+    bool annotation = log::isAnnotation(record.type);
+    writer_.writeBit(annotation);
+    take(field_bits_.kind);
+
+    // Thread id.
+    if (bank_.tid_seen && record.tid == bank_.last_tid) {
+        writer_.writeBit(true);
+    } else {
+        writer_.writeBit(false);
+        writer_.writeBits(record.tid, 16);
+    }
+    bank_.last_tid = record.tid;
+    bank_.tid_seen = true;
+    take(field_bits_.tid);
+
+    if (annotation) {
+        unsigned type_index =
+            static_cast<unsigned>(record.type) -
+            static_cast<unsigned>(EventType::kAlloc);
+        LBA_ASSERT(type_index < 8, "bad annotation type");
+        writer_.writeBits(type_index, 3);
+        auto& last = bank_.annotation[type_index];
+        writer_.writeVarint(zigzagEncode(
+            static_cast<std::int64_t>(record.addr) -
+            static_cast<std::int64_t>(last.addr)));
+        writer_.writeVarint(zigzagEncode(
+            static_cast<std::int64_t>(record.aux) -
+            static_cast<std::int64_t>(last.aux)));
+        last.addr = record.addr;
+        last.aux = record.aux;
+        take(field_bits_.annotation);
+        return;
+    }
+
+    // Program counter.
+    PcPredictor::Source pc_src = bank_.pc.predict(record.tid, record.pc);
+    switch (pc_src) {
+      case PcPredictor::Source::kSequential:
+        writer_.writeBit(false);
+        break;
+      case PcPredictor::Source::kContext:
+        writer_.writeBit(true);
+        writer_.writeBit(false);
+        break;
+      case PcPredictor::Source::kMiss:
+        writer_.writeBit(true);
+        writer_.writeBit(true);
+        writer_.writeVarint(zigzagEncode(
+            static_cast<std::int64_t>(record.pc) -
+            static_cast<std::int64_t>(bank_.pc.missBase(record.tid))));
+        break;
+    }
+    bank_.pc.update(record.tid, record.pc);
+    take(field_bits_.pc);
+
+    // Static instruction fields.
+    StaticInfo actual{record.opcode, record.rd, record.rs1, record.rs2};
+    const StaticInfo* predicted = bank_.stat.predict(record.pc);
+    if (predicted && *predicted == actual) {
+        writer_.writeBit(true);
+    } else {
+        writer_.writeBit(false);
+        writer_.writeBits(record.opcode, 6);
+        writer_.writeBits(record.rd, 5);
+        writer_.writeBits(record.rs1, 5);
+        writer_.writeBits(record.rs2, 5);
+        bank_.stat.update(record.pc, actual);
+    }
+    take(field_bits_.stat);
+
+    auto cls = isa::classOf(static_cast<isa::Opcode>(record.opcode));
+    if (hasMemPayload(cls)) {
+        StridePredictor::Source src =
+            bank_.mem_addr.predict(record.pc, record.addr);
+        switch (src) {
+          case StridePredictor::Source::kStride:
+            writer_.writeBit(false);
+            break;
+          case StridePredictor::Source::kLast:
+            writer_.writeBit(true);
+            writer_.writeBit(false);
+            break;
+          case StridePredictor::Source::kMiss:
+            writer_.writeBit(true);
+            writer_.writeBit(true);
+            writer_.writeVarint(zigzagEncode(
+                static_cast<std::int64_t>(record.addr) -
+                static_cast<std::int64_t>(
+                    bank_.mem_addr.missBase(record.pc))));
+            break;
+        }
+        bank_.mem_addr.update(record.pc, record.addr);
+        take(field_bits_.addr);
+    } else if (hasCtrlPayload(cls)) {
+        bool taken = record.aux != 0;
+        writer_.writeBit(taken);
+        if (taken) {
+            if (bank_.ctrl_target.predict(record.pc, record.addr)) {
+                writer_.writeBit(true);
+            } else {
+                writer_.writeBit(false);
+                writer_.writeVarint(zigzagEncode(
+                    static_cast<std::int64_t>(record.addr) -
+                    static_cast<std::int64_t>(record.pc)));
+            }
+            bank_.ctrl_target.update(record.pc, record.addr);
+        }
+        take(field_bits_.ctrl);
+    }
+}
+
+EventRecord
+LogDecompressor::next()
+{
+    EventRecord record;
+    bool annotation = reader_.readBit();
+
+    // Thread id.
+    if (reader_.readBit()) {
+        LBA_ASSERT(bank_.tid_seen, "tid hit before any tid literal");
+        record.tid = bank_.last_tid;
+    } else {
+        record.tid = static_cast<ThreadId>(reader_.readBits(16));
+    }
+    bank_.last_tid = record.tid;
+    bank_.tid_seen = true;
+
+    if (annotation) {
+        unsigned type_index = static_cast<unsigned>(reader_.readBits(3));
+        record.type = static_cast<EventType>(
+            static_cast<unsigned>(EventType::kAlloc) + type_index);
+        auto& last = bank_.annotation[type_index];
+        record.addr = static_cast<Addr>(
+            static_cast<std::int64_t>(last.addr) +
+            zigzagDecode(reader_.readVarint()));
+        record.aux = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(last.aux) +
+            zigzagDecode(reader_.readVarint()));
+        last.addr = record.addr;
+        last.aux = record.aux;
+        return record;
+    }
+
+    // Program counter.
+    if (!reader_.readBit()) {
+        record.pc = bank_.pc.resolve(record.tid,
+                                     PcPredictor::Source::kSequential);
+    } else if (!reader_.readBit()) {
+        record.pc =
+            bank_.pc.resolve(record.tid, PcPredictor::Source::kContext);
+    } else {
+        record.pc = static_cast<Addr>(
+            static_cast<std::int64_t>(bank_.pc.missBase(record.tid)) +
+            zigzagDecode(reader_.readVarint()));
+    }
+    bank_.pc.update(record.tid, record.pc);
+
+    // Static instruction fields.
+    if (reader_.readBit()) {
+        const StaticInfo* info = bank_.stat.predict(record.pc);
+        LBA_ASSERT(info != nullptr, "static hit for unseen pc");
+        record.opcode = info->opcode;
+        record.rd = info->rd;
+        record.rs1 = info->rs1;
+        record.rs2 = info->rs2;
+    } else {
+        record.opcode =
+            static_cast<std::uint8_t>(reader_.readBits(6));
+        record.rd = static_cast<std::uint8_t>(reader_.readBits(5));
+        record.rs1 = static_cast<std::uint8_t>(reader_.readBits(5));
+        record.rs2 = static_cast<std::uint8_t>(reader_.readBits(5));
+        bank_.stat.update(record.pc, StaticInfo{record.opcode, record.rd,
+                                                record.rs1, record.rs2});
+    }
+
+    auto op = static_cast<isa::Opcode>(record.opcode);
+    auto cls = isa::classOf(op);
+    record.type = log::eventTypeOf(cls);
+
+    if (hasMemPayload(cls)) {
+        if (!reader_.readBit()) {
+            record.addr = bank_.mem_addr.resolve(
+                record.pc, StridePredictor::Source::kStride);
+        } else if (!reader_.readBit()) {
+            record.addr = bank_.mem_addr.resolve(
+                record.pc, StridePredictor::Source::kLast);
+        } else {
+            record.addr = static_cast<Addr>(
+                static_cast<std::int64_t>(
+                    bank_.mem_addr.missBase(record.pc)) +
+                zigzagDecode(reader_.readVarint()));
+        }
+        bank_.mem_addr.update(record.pc, record.addr);
+        record.aux = isa::memAccessBytes(op);
+    } else if (hasCtrlPayload(cls)) {
+        bool taken = reader_.readBit();
+        if (taken) {
+            record.aux = 1;
+            if (reader_.readBit()) {
+                record.addr = bank_.ctrl_target.resolve(record.pc);
+            } else {
+                record.addr = static_cast<Addr>(
+                    static_cast<std::int64_t>(record.pc) +
+                    zigzagDecode(reader_.readVarint()));
+            }
+            bank_.ctrl_target.update(record.pc, record.addr);
+        }
+    }
+    return record;
+}
+
+} // namespace lba::compress

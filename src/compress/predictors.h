@@ -1,0 +1,208 @@
+#pragma once
+/**
+ * @file
+ * Value predictors shared by the log compressor and decompressor.
+ *
+ * Following Burtscher's VPC approach [1], each record field has its own
+ * small predictor bank; a field that predicts correctly costs one or two
+ * flag bits instead of a literal. Compressor and decompressor run
+ * identical predictor state machines so no side information is needed.
+ *
+ * Predictor inventory:
+ *  - PcPredictor:      per-thread sequential (pc+8) and finite-context
+ *                      (last pc -> next pc) predictors.
+ *  - StaticPredictor:  pc -> (opcode, rd, rs1, rs2); instruction words are
+ *                      static, so this hits on every revisited pc.
+ *  - StridePredictor:  pc-indexed last-address + stride for load/store
+ *                      effective addresses.
+ *  - TargetPredictor:  pc-indexed last taken-target for control transfers.
+ *  - LastValue:        per-annotation-type last address/size values.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.h"
+#include "isa/isa.h"
+
+namespace lba::compress {
+
+/** Sequential + finite-context-method program-counter predictor. */
+class PcPredictor
+{
+  public:
+    /** Prediction sources, in the order they are tried. */
+    enum class Source : std::uint8_t { kSequential, kContext, kMiss };
+
+    /** Predict the pc of the next record for @p tid. */
+    Source
+    predict(ThreadId tid, Addr actual) const
+    {
+        auto it = last_pc_.find(tid);
+        if (it == last_pc_.end()) {
+            return Source::kMiss;
+        }
+        if (it->second + isa::kInstrBytes == actual) {
+            return Source::kSequential;
+        }
+        auto ctx = context_.find(it->second);
+        if (ctx != context_.end() && ctx->second == actual) {
+            return Source::kContext;
+        }
+        return Source::kMiss;
+    }
+
+    /** Resolve a prediction on the decompressor side. */
+    Addr
+    resolve(ThreadId tid, Source source) const
+    {
+        auto it = last_pc_.find(tid);
+        if (source == Source::kSequential) {
+            return it->second + isa::kInstrBytes;
+        }
+        // kContext
+        return context_.at(it->second);
+    }
+
+    /** Delta base for encoding a miss (0 when @p tid is unseen). */
+    Addr
+    missBase(ThreadId tid) const
+    {
+        auto it = last_pc_.find(tid);
+        return it == last_pc_.end() ? 0
+                                    : it->second + isa::kInstrBytes;
+    }
+
+    /** Record the actual pc (both sides call this after every record). */
+    void
+    update(ThreadId tid, Addr actual)
+    {
+        auto it = last_pc_.find(tid);
+        if (it != last_pc_.end() &&
+            it->second + isa::kInstrBytes != actual) {
+            context_[it->second] = actual;
+        }
+        last_pc_[tid] = actual;
+    }
+
+  private:
+    std::unordered_map<ThreadId, Addr> last_pc_;
+    std::unordered_map<Addr, Addr> context_;
+};
+
+/** Static per-pc instruction fields. */
+struct StaticInfo
+{
+    std::uint8_t opcode = 0;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+
+    bool operator==(const StaticInfo&) const = default;
+};
+
+/** pc -> static instruction fields (hits after the first visit). */
+class StaticPredictor
+{
+  public:
+    /** @return Pointer to the prediction for @p pc, or nullptr. */
+    const StaticInfo*
+    predict(Addr pc) const
+    {
+        auto it = table_.find(pc);
+        return it == table_.end() ? nullptr : &it->second;
+    }
+
+    void update(Addr pc, const StaticInfo& info) { table_[pc] = info; }
+
+  private:
+    std::unordered_map<Addr, StaticInfo> table_;
+};
+
+/** pc-indexed last-address + stride predictor for effective addresses. */
+class StridePredictor
+{
+  public:
+    enum class Source : std::uint8_t { kStride, kLast, kMiss };
+
+    Source
+    predict(Addr pc, Addr actual) const
+    {
+        auto it = table_.find(pc);
+        if (it == table_.end()) return Source::kMiss;
+        if (static_cast<Addr>(it->second.last + it->second.stride) ==
+            actual) {
+            return Source::kStride;
+        }
+        if (it->second.last == actual) return Source::kLast;
+        return Source::kMiss;
+    }
+
+    /** Prediction value for hit kinds; also the delta base for misses. */
+    Addr
+    resolve(Addr pc, Source source) const
+    {
+        const Entry& e = table_.at(pc);
+        return source == Source::kStride
+                   ? static_cast<Addr>(e.last + e.stride)
+                   : e.last;
+    }
+
+    /** Base for delta-encoding a miss (0 when pc is unseen). */
+    Addr
+    missBase(Addr pc) const
+    {
+        auto it = table_.find(pc);
+        return it == table_.end() ? 0 : it->second.last;
+    }
+
+    void
+    update(Addr pc, Addr actual)
+    {
+        Entry& e = table_[pc];
+        if (e.seen) {
+            e.stride = static_cast<std::int64_t>(actual) -
+                       static_cast<std::int64_t>(e.last);
+        }
+        e.last = actual;
+        e.seen = true;
+    }
+
+  private:
+    struct Entry
+    {
+        Addr last = 0;
+        std::int64_t stride = 0;
+        bool seen = false;
+    };
+
+    std::unordered_map<Addr, Entry> table_;
+};
+
+/** pc-indexed last taken-target predictor for control transfers. */
+class TargetPredictor
+{
+  public:
+    /** @return True when the stored target for @p pc equals @p actual. */
+    bool
+    predict(Addr pc, Addr actual) const
+    {
+        auto it = table_.find(pc);
+        return it != table_.end() && it->second == actual;
+    }
+
+    /** Stored target for @p pc (0 when unseen). */
+    Addr
+    resolve(Addr pc) const
+    {
+        auto it = table_.find(pc);
+        return it == table_.end() ? 0 : it->second;
+    }
+
+    void update(Addr pc, Addr actual) { table_[pc] = actual; }
+
+  private:
+    std::unordered_map<Addr, Addr> table_;
+};
+
+} // namespace lba::compress

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Trace file reader/writer implementation.
+ */
+
+#include "compress/trace_file.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "compress/compressor.h"
+
+namespace lba::compress {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'B', 'A', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+void
+put64(std::uint8_t* out, std::uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        out[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    }
+}
+
+std::uint64_t
+get64(const std::uint8_t* in)
+{
+    std::uint64_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+        value |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    }
+    return value;
+}
+
+bool
+fail(std::string* error, const std::string& message)
+{
+    if (error) *error = message;
+    return false;
+}
+
+/** RAII FILE handle. */
+struct FileCloser
+{
+    void operator()(std::FILE* f) const { if (f) std::fclose(f); }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+bool
+writeTrace(const std::string& path,
+           const std::vector<log::EventRecord>& records,
+           std::string* error)
+{
+    LogCompressor compressor;
+    for (const log::EventRecord& record : records) {
+        compressor.append(record);
+    }
+    const std::vector<std::uint8_t>& payload = compressor.bytes();
+
+    File file(std::fopen(path.c_str(), "wb"));
+    if (!file) return fail(error, "cannot open '" + path + "' to write");
+
+    std::uint8_t header[28];
+    std::memcpy(header, kMagic, 8);
+    header[8] = static_cast<std::uint8_t>(kVersion);
+    header[9] = header[10] = header[11] = 0;
+    put64(header + 12, records.size());
+    put64(header + 20, payload.size());
+    if (std::fwrite(header, 1, sizeof(header), file.get()) !=
+        sizeof(header)) {
+        return fail(error, "short write on header");
+    }
+    if (!payload.empty() &&
+        std::fwrite(payload.data(), 1, payload.size(), file.get()) !=
+            payload.size()) {
+        return fail(error, "short write on payload");
+    }
+    if (error) error->clear();
+    return true;
+}
+
+std::optional<TraceInfo>
+readTraceInfo(const std::string& path, std::string* error)
+{
+    File file(std::fopen(path.c_str(), "rb"));
+    if (!file) {
+        fail(error, "cannot open '" + path + "'");
+        return std::nullopt;
+    }
+    std::uint8_t header[28];
+    if (std::fread(header, 1, sizeof(header), file.get()) !=
+        sizeof(header)) {
+        fail(error, "truncated header");
+        return std::nullopt;
+    }
+    if (std::memcmp(header, kMagic, 8) != 0) {
+        fail(error, "not an LBA trace file");
+        return std::nullopt;
+    }
+    if (header[8] != kVersion) {
+        fail(error, "unsupported trace version");
+        return std::nullopt;
+    }
+    TraceInfo info;
+    info.records = get64(header + 12);
+    info.payload_bytes = get64(header + 20);
+    if (error) error->clear();
+    return info;
+}
+
+std::optional<std::vector<log::EventRecord>>
+readTrace(const std::string& path, std::string* error)
+{
+    auto info = readTraceInfo(path, error);
+    if (!info) return std::nullopt;
+
+    File file(std::fopen(path.c_str(), "rb"));
+    if (!file) {
+        fail(error, "cannot reopen '" + path + "'");
+        return std::nullopt;
+    }
+    if (std::fseek(file.get(), 28, SEEK_SET) != 0) {
+        fail(error, "seek failed");
+        return std::nullopt;
+    }
+    std::vector<std::uint8_t> payload(info->payload_bytes);
+    if (!payload.empty() &&
+        std::fread(payload.data(), 1, payload.size(), file.get()) !=
+            payload.size()) {
+        fail(error, "truncated payload");
+        return std::nullopt;
+    }
+
+    LogDecompressor decompressor(payload);
+    std::vector<log::EventRecord> records;
+    records.reserve(info->records);
+    for (std::uint64_t i = 0; i < info->records; ++i) {
+        records.push_back(decompressor.next());
+    }
+    if (error) error->clear();
+    return records;
+}
+
+} // namespace lba::compress

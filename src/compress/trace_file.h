@@ -1,0 +1,67 @@
+#pragma once
+/**
+ * @file
+ * On-disk event-trace files.
+ *
+ * The paper's own methodology (Section 3) used exactly this split: "we
+ * developed a trace generation tool to produce log record traces from
+ * applications, and a Simics extension module to read the log traces
+ * and perform event-driven lifeguard executions". These helpers store a
+ * captured event stream in its compressed form so traces can be
+ * generated once and replayed into lifeguards many times (tools/
+ * lba_trace and tools/lba_run).
+ *
+ * Format (little-endian):
+ *   bytes 0..7   magic "LBATRACE"
+ *   bytes 8..11  format version (currently 1)
+ *   bytes 12..19 record count
+ *   bytes 20..27 payload byte count
+ *   bytes 28..   LogCompressor output
+ */
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "log/event.h"
+
+namespace lba::compress {
+
+/** Trace-file header information. */
+struct TraceInfo
+{
+    std::uint64_t records = 0;
+    std::uint64_t payload_bytes = 0;
+
+    /** Average compressed record size. */
+    double
+    bytesPerRecord() const
+    {
+        return records ? static_cast<double>(payload_bytes) /
+                             static_cast<double>(records)
+                       : 0.0;
+    }
+};
+
+/**
+ * Write @p records to @p path in compressed trace format.
+ * @return False on I/O failure (@p error describes it).
+ */
+bool writeTrace(const std::string& path,
+                const std::vector<log::EventRecord>& records,
+                std::string* error = nullptr);
+
+/**
+ * Read the header of a trace file without decoding the payload.
+ */
+std::optional<TraceInfo> readTraceInfo(const std::string& path,
+                                       std::string* error = nullptr);
+
+/**
+ * Load and decompress an entire trace file.
+ * @return std::nullopt on I/O or format error.
+ */
+std::optional<std::vector<log::EventRecord>> readTrace(
+    const std::string& path, std::string* error = nullptr);
+
+} // namespace lba::compress

@@ -1,0 +1,174 @@
+#pragma once
+/**
+ * @file
+ * The dual-core LBA system (paper Figure 1): capture -> compress ->
+ * log buffer -> decompress -> dispatch -> lifeguard, with decoupled
+ * application/lifeguard cores coordinating only through the buffer.
+ *
+ * Timing model. Both cores are single-CPI in-order with the shared cache
+ * hierarchy of mem::CacheHierarchy. Execution is driven by the
+ * application's retirement stream; for every record i we compute
+ *
+ *   produce(i) = app core time after the instruction retires, delayed
+ *                while the buffer is full (back-pressure stall);
+ *   start(i)   = max(produce(i), finish(i-1));
+ *   finish(i)  = start(i) + dispatch + handler cycles.
+ *
+ * The buffer slot for record i frees when record i-capacity finishes, so
+ * a lifeguard that cannot keep up eventually stalls the application —
+ * exactly the paper's decoupling semantics. Syscall containment stalls
+ * the application at each syscall until the lifeguard has consumed every
+ * record logged before it (Section 2).
+ *
+ * The value-prediction compressor runs over every logged record to
+ * account transport bandwidth (< 1 byte/instruction claim); records are
+ * handed to the dispatch engine functionally (the compressor's exact
+ * invertibility is covered by tests and the compression benches).
+ */
+
+#include <deque>
+#include <memory>
+
+#include "compress/compressor.h"
+#include "lifeguard/dispatch.h"
+#include "log/capture.h"
+#include "log/log_buffer.h"
+#include "mem/hierarchy.h"
+#include "sim/process.h"
+#include "stats/counter.h"
+
+namespace lba::core {
+
+/** LBA platform configuration. */
+struct LbaConfig
+{
+    /** Log buffer capacity, in records. */
+    std::size_t buffer_capacity = 64 * 1024;
+    /** Application core index. */
+    unsigned app_core = 0;
+    /** Dispatch configuration (lifeguard core index, nlba cost). */
+    lifeguard::DispatchConfig dispatch{1, 1};
+    /** Stall syscalls until the log drains (error containment). */
+    bool syscall_stall = true;
+    /** Run the compressor for bandwidth accounting. */
+    bool compress = true;
+    /** Address-range record filter (paper Section 3 future work). */
+    bool filter_enabled = false;
+    Addr filter_base = 0;
+    std::uint64_t filter_bytes = 0;
+    /**
+     * Log-transport bandwidth in bytes/cycle through the cache
+     * hierarchy (0 = unlimited). With a finite bandwidth, a record can
+     * only be consumed once its (compressed) bytes have crossed the
+     * transport — this is where the < 1 byte/instruction compression
+     * pays off (paper Section 2: compression "reduce[s] the bandwidth
+     * pressure and buffer requirements on the log transport medium").
+     */
+    double transport_bytes_per_cycle = 0.0;
+    /** Record size on the transport when compression is disabled. */
+    unsigned raw_record_bytes = 24;
+};
+
+/** Timing/traffic statistics of one LBA run. */
+struct LbaRunStats
+{
+    std::uint64_t app_instructions = 0;
+    std::uint64_t records_logged = 0;
+    std::uint64_t records_filtered = 0;
+    Cycles total_cycles = 0;
+    /** The application's own execution cycles (CPI + cache penalties). */
+    Cycles app_cycles = 0;
+    /** Cycles the application stalled on a full log buffer. */
+    Cycles backpressure_stall_cycles = 0;
+    /** Cycles the application stalled draining the log at syscalls. */
+    Cycles syscall_stall_cycles = 0;
+    /** Cycles the lifeguard core spent consuming records. */
+    Cycles lifeguard_busy_cycles = 0;
+    /** Compressed log size, bytes per logged record. */
+    double bytes_per_record = 0.0;
+    /** Mean cycles between record production and consumption start. */
+    double mean_consume_lag = 0.0;
+    /** Number of syscalls that triggered a containment drain. */
+    std::uint64_t syscall_drains = 0;
+    /** Total bytes pushed onto the log transport. */
+    double transport_bytes = 0.0;
+    /** Cycles consumption waited on transport bandwidth. */
+    Cycles transport_wait_cycles = 0;
+};
+
+/**
+ * The LBA monitoring platform: a RetireObserver that owns the capture,
+ * compression, buffering and dispatch pipeline for one lifeguard core.
+ */
+class LbaSystem : public sim::RetireObserver
+{
+  public:
+    /**
+     * @param lifeguard The lifeguard running on the lifeguard core.
+     * @param hierarchy Shared cache hierarchy (needs >= 2 cores).
+     * @param config    Platform configuration.
+     */
+    LbaSystem(lifeguard::Lifeguard& lifeguard,
+              mem::CacheHierarchy& hierarchy, const LbaConfig& config = {});
+
+    void onRetire(const sim::Retired& retired) override;
+    void onOsEvent(const sim::OsEvent& event) override;
+
+    /**
+     * Complete the run: drain the pipeline and run the lifeguard's
+     * end-of-program hook. Must be called exactly once, after run().
+     */
+    void finish();
+
+    /** Statistics (valid after finish()). */
+    const LbaRunStats& stats() const { return stats_; }
+
+    /** Log-buffer occupancy statistics. */
+    const log::LogBufferStats& bufferStats() const
+    {
+        return buffer_.stats();
+    }
+
+    /** Per-event-type dispatch statistics. */
+    const lifeguard::DispatchStats& dispatchStats() const
+    {
+        return dispatch_.stats();
+    }
+
+    const compress::LogCompressor& compressor() const
+    {
+        return compressor_;
+    }
+
+    lifeguard::Lifeguard& lifeguard() { return dispatch_.lifeguard(); }
+
+  private:
+    /** True when the filter drops this record. */
+    bool filtered(const log::EventRecord& record) const;
+
+    /** Push one record through buffer timing + dispatch. */
+    void logRecord(const log::EventRecord& record);
+
+    mem::CacheHierarchy& hierarchy_;
+    LbaConfig config_;
+    compress::LogCompressor compressor_;
+    log::LogBuffer buffer_;
+    lifeguard::DispatchEngine dispatch_;
+
+    /** Application core clock. */
+    Cycles app_time_ = 0;
+    /** finish(i) of the most recently consumed record. */
+    Cycles last_finish_ = 0;
+    /** finish times of records still occupying buffer slots. */
+    std::deque<Cycles> slot_finish_;
+    /** Containment drain is applied before the next retirement. */
+    bool pending_drain_ = false;
+    /** Cycle at which the transport finishes delivering the last byte. */
+    double transport_free_ = 0.0;
+
+    stats::Summary consume_lag_;
+    LbaRunStats stats_;
+    bool finished_ = false;
+};
+
+} // namespace lba::core

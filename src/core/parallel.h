@@ -1,0 +1,116 @@
+#pragma once
+/**
+ * @file
+ * Parallel-lifeguard extension: splitting lifeguard functionality across
+ * multiple cores (paper Section 1 "the lifeguard functionality can be
+ * split across multiple cores, exploiting further parallelism", and
+ * Section 3's "parallelizing lifeguards" future work).
+ *
+ * Sharding policy: memory-access records are routed by address (64-byte
+ * region hash) so each shard owns a partition of the shadow space;
+ * annotation records (alloc/free/input/lock/unlock/...) are broadcast to
+ * every shard so each keeps a complete view of allocation and lock state;
+ * remaining instruction records are distributed round-robin (their
+ * handlers for shardable lifeguards are no-ops, so this only balances
+ * dispatch cost).
+ *
+ * This partitioning preserves the semantics of per-address lifeguards
+ * (AddrCheck, LockSet). TaintCheck is NOT shardable this way: its
+ * register-taint state serializes the whole instruction stream — which is
+ * precisely why the paper lists lifeguard parallelization as ongoing
+ * research rather than a solved problem.
+ */
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "compress/compressor.h"
+#include "core/lba_system.h"
+#include "lifeguard/dispatch.h"
+#include "mem/hierarchy.h"
+#include "sim/process.h"
+
+namespace lba::core {
+
+/** Parallel LBA configuration. */
+struct ParallelLbaConfig
+{
+    std::size_t buffer_capacity = 64 * 1024;
+    unsigned app_core = 0;
+    /** Number of lifeguard cores; hierarchy needs shards+1 cores. */
+    unsigned shards = 2;
+    Cycles dispatch_cycles = 1;
+    bool syscall_stall = true;
+    bool compress = true;
+};
+
+/** Statistics for a parallel LBA run. */
+struct ParallelLbaStats
+{
+    std::uint64_t app_instructions = 0;
+    std::uint64_t records_logged = 0;
+    Cycles total_cycles = 0;
+    Cycles app_cycles = 0;
+    Cycles backpressure_stall_cycles = 0;
+    Cycles syscall_stall_cycles = 0;
+    std::vector<Cycles> shard_busy_cycles;
+    double bytes_per_record = 0.0;
+};
+
+/**
+ * LBA with the log fanned out to multiple lifeguard cores.
+ */
+class ParallelLbaSystem : public sim::RetireObserver
+{
+  public:
+    using Factory =
+        std::function<std::unique_ptr<lifeguard::Lifeguard>()>;
+
+    /**
+     * @param factory   Creates one lifeguard instance per shard.
+     * @param hierarchy Needs config.shards + 1 cores.
+     */
+    ParallelLbaSystem(const Factory& factory,
+                      mem::CacheHierarchy& hierarchy,
+                      const ParallelLbaConfig& config);
+
+    void onRetire(const sim::Retired& retired) override;
+    void onOsEvent(const sim::OsEvent& event) override;
+
+    /** Drain and finalize; must be called once after the run. */
+    void finish();
+
+    const ParallelLbaStats& stats() const { return stats_; }
+
+    /** Findings across all shards (detection order within a shard). */
+    std::vector<lifeguard::Finding> allFindings() const;
+
+    unsigned shards() const { return static_cast<unsigned>(lanes_.size()); }
+
+  private:
+    struct Lane
+    {
+        std::unique_ptr<lifeguard::Lifeguard> lifeguard;
+        std::unique_ptr<lifeguard::DispatchEngine> dispatch;
+        Cycles last_finish = 0;
+    };
+
+    /** Route a record to its shard (kBroadcast for annotations). */
+    static constexpr unsigned kBroadcast = ~0u;
+    unsigned route(const log::EventRecord& record);
+
+    void logRecord(const log::EventRecord& record);
+
+    mem::CacheHierarchy& hierarchy_;
+    ParallelLbaConfig config_;
+    compress::LogCompressor compressor_;
+    std::vector<Lane> lanes_;
+    std::deque<Cycles> slot_finish_;
+    Cycles app_time_ = 0;
+    bool pending_drain_ = false;
+    std::uint64_t round_robin_ = 0;
+    ParallelLbaStats stats_;
+};
+
+} // namespace lba::core

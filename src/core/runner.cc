@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Experiment runner implementation.
+ */
+
+#include "core/runner.h"
+
+#include "common/assert.h"
+
+namespace lba::core {
+
+namespace {
+
+/** Observer charging only the application's own cost (no monitoring). */
+class AppTimingObserver : public sim::RetireObserver
+{
+  public:
+    AppTimingObserver(mem::CacheHierarchy& hierarchy, unsigned core)
+        : hierarchy_(hierarchy), core_(core)
+    {
+    }
+
+    void
+    onRetire(const sim::Retired& retired) override
+    {
+        cycles_ += 1 + hierarchy_.instrFetch(core_, retired.pc);
+        if (retired.mem_bytes > 0) {
+            cycles_ += hierarchy_.dataAccess(core_, retired.mem_addr,
+                                             retired.mem_is_write);
+        }
+    }
+
+    void onOsEvent(const sim::OsEvent&) override {}
+
+    Cycles cycles() const { return cycles_; }
+
+  private:
+    mem::CacheHierarchy& hierarchy_;
+    unsigned core_;
+    Cycles cycles_ = 0;
+};
+
+} // namespace
+
+Experiment::Experiment(std::vector<isa::Instruction> program,
+                       ExperimentConfig config)
+    : program_(std::move(program)), config_(std::move(config))
+{
+    LBA_ASSERT(!program_.empty(), "experiment needs a program");
+}
+
+sim::Process
+Experiment::makeProcess() const
+{
+    sim::Process process(config_.process);
+    process.load(program_);
+    return process;
+}
+
+const PlatformResult&
+Experiment::unmonitored()
+{
+    if (unmonitored_) return *unmonitored_;
+
+    sim::Process process = makeProcess();
+    mem::HierarchyConfig hc = config_.hierarchy;
+    mem::CacheHierarchy hierarchy(hc);
+    AppTimingObserver observer(hierarchy, config_.lba.app_core);
+    sim::RunResult run = process.run(&observer);
+
+    PlatformResult result;
+    result.platform = "unmonitored";
+    result.instructions = run.instructions;
+    result.cycles = observer.cycles();
+    result.slowdown = 1.0;
+    result.run = run;
+    unmonitored_ = std::move(result);
+    return *unmonitored_;
+}
+
+PlatformResult
+Experiment::runLba(const LifeguardFactory& factory)
+{
+    return runLba(factory, config_.lba);
+}
+
+PlatformResult
+Experiment::runLba(const LifeguardFactory& factory,
+                   const LbaConfig& lba_config)
+{
+    const PlatformResult& base = unmonitored();
+
+    sim::Process process = makeProcess();
+    mem::HierarchyConfig hc = config_.hierarchy;
+    if (hc.num_cores < 2) hc.num_cores = 2;
+    mem::CacheHierarchy hierarchy(hc);
+    std::unique_ptr<lifeguard::Lifeguard> guard = factory();
+    LBA_ASSERT(guard != nullptr, "lifeguard factory returned null");
+
+    LbaSystem system(*guard, hierarchy, lba_config);
+    sim::RunResult run = process.run(&system);
+    system.finish();
+
+    PlatformResult result;
+    result.platform = "lba";
+    result.instructions = run.instructions;
+    result.cycles = system.stats().total_cycles;
+    result.slowdown = base.cycles
+                          ? static_cast<double>(result.cycles) /
+                                static_cast<double>(base.cycles)
+                          : 0.0;
+    result.findings = guard->findings();
+    result.lba = system.stats();
+    result.run = run;
+    return result;
+}
+
+PlatformResult
+Experiment::runDbi(const LifeguardFactory& factory)
+{
+    const PlatformResult& base = unmonitored();
+
+    sim::Process process = makeProcess();
+    mem::HierarchyConfig hc = config_.hierarchy;
+    mem::CacheHierarchy hierarchy(hc);
+    std::unique_ptr<lifeguard::Lifeguard> guard = factory();
+    LBA_ASSERT(guard != nullptr, "lifeguard factory returned null");
+
+    dbi::DbiSystem system(*guard, hierarchy, config_.dbi);
+    sim::RunResult run = process.run(&system);
+    system.finish();
+
+    PlatformResult result;
+    result.platform = "dbi";
+    result.instructions = run.instructions;
+    result.cycles = system.stats().total_cycles;
+    result.slowdown = base.cycles
+                          ? static_cast<double>(result.cycles) /
+                                static_cast<double>(base.cycles)
+                          : 0.0;
+    result.findings = guard->findings();
+    result.dbi = system.stats();
+    result.run = run;
+    return result;
+}
+
+PlatformResult
+Experiment::runParallelLba(const LifeguardFactory& factory,
+                           unsigned shards)
+{
+    const PlatformResult& base = unmonitored();
+
+    sim::Process process = makeProcess();
+    mem::HierarchyConfig hc = config_.hierarchy;
+    if (hc.num_cores < shards + 1) hc.num_cores = shards + 1;
+    mem::CacheHierarchy hierarchy(hc);
+
+    ParallelLbaConfig pc;
+    pc.buffer_capacity = config_.lba.buffer_capacity;
+    pc.app_core = config_.lba.app_core;
+    pc.shards = shards;
+    pc.dispatch_cycles = config_.lba.dispatch.dispatch_cycles;
+    pc.syscall_stall = config_.lba.syscall_stall;
+    pc.compress = config_.lba.compress;
+
+    ParallelLbaSystem system(factory, hierarchy, pc);
+    sim::RunResult run = process.run(&system);
+    system.finish();
+
+    PlatformResult result;
+    result.platform = "lba-parallel";
+    result.instructions = run.instructions;
+    result.cycles = system.stats().total_cycles;
+    result.slowdown = base.cycles
+                          ? static_cast<double>(result.cycles) /
+                                static_cast<double>(base.cycles)
+                          : 0.0;
+    result.findings = system.allFindings();
+    result.parallel = system.stats();
+    result.run = run;
+    return result;
+}
+
+} // namespace lba::core

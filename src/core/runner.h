@@ -1,0 +1,102 @@
+#pragma once
+/**
+ * @file
+ * Experiment runner: executes the same program unmonitored, under LBA,
+ * and under the DBI baseline, and reports comparable cycle counts.
+ *
+ * This is the top-level public API most users want:
+ * @code
+ *   core::Experiment exp(program, {});
+ *   auto lba = exp.runLba([] { return std::make_unique<AddrCheck>(); });
+ *   std::cout << lba.slowdown << "x, findings: "
+ *             << lba.findings.size() << '\n';
+ * @endcode
+ */
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/lba_system.h"
+#include "core/parallel.h"
+#include "dbi/dbi_system.h"
+#include "isa/isa.h"
+#include "lifeguard/lifeguard.h"
+#include "mem/hierarchy.h"
+#include "sim/process.h"
+
+namespace lba::core {
+
+/** Creates a fresh lifeguard instance (one per platform run / shard). */
+using LifeguardFactory =
+    std::function<std::unique_ptr<lifeguard::Lifeguard>()>;
+
+/** Everything needed to run one program on every platform. */
+struct ExperimentConfig
+{
+    sim::ProcessConfig process;
+    mem::HierarchyConfig hierarchy;
+    LbaConfig lba;
+    dbi::DbiConfig dbi;
+};
+
+/** Result of running one platform. */
+struct PlatformResult
+{
+    std::string platform;
+    std::uint64_t instructions = 0;
+    Cycles cycles = 0;
+    /** Execution time normalized to the unmonitored run. */
+    double slowdown = 1.0;
+    std::vector<lifeguard::Finding> findings;
+    /** Valid when platform == "lba". */
+    LbaRunStats lba;
+    /** Valid when platform == "dbi". */
+    dbi::DbiStats dbi;
+    /** Valid when platform == "lba-parallel". */
+    ParallelLbaStats parallel;
+    sim::RunResult run;
+};
+
+/**
+ * Runs one program on the three platforms with identical inputs.
+ * Functional execution is deterministic, so every platform observes the
+ * exact same retirement stream; only timing differs.
+ */
+class Experiment
+{
+  public:
+    Experiment(std::vector<isa::Instruction> program,
+               ExperimentConfig config = {});
+
+    /** Unmonitored baseline (computed once, cached). */
+    const PlatformResult& unmonitored();
+
+    /** Run under LBA with a fresh lifeguard from @p factory. */
+    PlatformResult runLba(const LifeguardFactory& factory);
+
+    /** Run under LBA with explicit configuration overrides. */
+    PlatformResult runLba(const LifeguardFactory& factory,
+                          const LbaConfig& lba_config);
+
+    /** Run under the Valgrind-style DBI baseline. */
+    PlatformResult runDbi(const LifeguardFactory& factory);
+
+    /** Run under parallel LBA with @p shards lifeguard cores. */
+    PlatformResult runParallelLba(const LifeguardFactory& factory,
+                                  unsigned shards);
+
+    const ExperimentConfig& config() const { return config_; }
+
+  private:
+    /** Fresh process with the program loaded. */
+    sim::Process makeProcess() const;
+
+    std::vector<isa::Instruction> program_;
+    ExperimentConfig config_;
+    std::optional<PlatformResult> unmonitored_;
+};
+
+} // namespace lba::core

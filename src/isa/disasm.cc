@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Disassembler implementation.
+ */
+
+#include "isa/disasm.h"
+
+#include <cstdio>
+
+namespace lba::isa {
+
+namespace {
+
+std::string
+reg(RegIndex r)
+{
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "r%u", static_cast<unsigned>(r));
+    return buf;
+}
+
+std::string
+immStr(std::int32_t imm)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d", imm);
+    return buf;
+}
+
+} // namespace
+
+std::string
+disassemble(const Instruction& instr)
+{
+    const std::string m = mnemonic(instr.op);
+    switch (instr.op) {
+      case Opcode::kNop:
+      case Opcode::kHalt:
+      case Opcode::kRet:
+        return m;
+      case Opcode::kLi:
+      case Opcode::kLih:
+        return m + " " + reg(instr.rd) + ", " + immStr(instr.imm);
+      case Opcode::kMov:
+        return m + " " + reg(instr.rd) + ", " + reg(instr.rs1);
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kDivu:
+      case Opcode::kRemu:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kShl:
+      case Opcode::kShr:
+      case Opcode::kSra:
+      case Opcode::kSlt:
+      case Opcode::kSltu:
+        return m + " " + reg(instr.rd) + ", " + reg(instr.rs1) + ", " +
+               reg(instr.rs2);
+      case Opcode::kAddi:
+      case Opcode::kMuli:
+      case Opcode::kAndi:
+      case Opcode::kOri:
+      case Opcode::kXori:
+      case Opcode::kShli:
+      case Opcode::kShri:
+        return m + " " + reg(instr.rd) + ", " + reg(instr.rs1) + ", " +
+               immStr(instr.imm);
+      case Opcode::kLb:
+      case Opcode::kLw:
+      case Opcode::kLd:
+        return m + " " + reg(instr.rd) + ", " + immStr(instr.imm) + "(" +
+               reg(instr.rs1) + ")";
+      case Opcode::kSb:
+      case Opcode::kSw:
+      case Opcode::kSd:
+        return m + " " + reg(instr.rs2) + ", " + immStr(instr.imm) + "(" +
+               reg(instr.rs1) + ")";
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlt:
+      case Opcode::kBge:
+      case Opcode::kBltu:
+      case Opcode::kBgeu:
+        return m + " " + reg(instr.rs1) + ", " + reg(instr.rs2) + ", " +
+               immStr(instr.imm);
+      case Opcode::kJmp:
+      case Opcode::kCall:
+        return m + " " + immStr(instr.imm);
+      case Opcode::kJr:
+      case Opcode::kCallr:
+        return m + " " + reg(instr.rs1);
+      case Opcode::kSyscall:
+        return m + " " + immStr(instr.imm);
+      case Opcode::kNumOpcodes:
+        break;
+    }
+    return "<invalid>";
+}
+
+std::string
+disassembleAt(const Instruction& instr, Addr pc)
+{
+    std::string text = disassemble(instr);
+    if (isControl(instr.op) && instr.op != Opcode::kJr &&
+        instr.op != Opcode::kCallr && instr.op != Opcode::kRet) {
+        char buf[32];
+        Addr target = pc + static_cast<std::int64_t>(instr.imm);
+        std::snprintf(buf, sizeof(buf), "   ; -> 0x%llx",
+                      static_cast<unsigned long long>(target));
+        text += buf;
+    }
+    return text;
+}
+
+} // namespace lba::isa

@@ -1,0 +1,24 @@
+#pragma once
+/**
+ * @file
+ * Disassembler: render decoded instructions back into assembly text that
+ * the lba::assembler front end accepts (round-trippable).
+ */
+
+#include <string>
+
+#include "isa/isa.h"
+
+namespace lba::isa {
+
+/** Render one instruction as assembly text, e.g. "add r3, r1, r2". */
+std::string disassemble(const Instruction& instr);
+
+/**
+ * Render one instruction at a known address; control transfers with
+ * pc-relative immediates are annotated with their absolute target, e.g.
+ * "beq r1, r2, -16   ; -> 0x1010".
+ */
+std::string disassembleAt(const Instruction& instr, Addr pc);
+
+} // namespace lba::isa

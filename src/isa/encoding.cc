@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Instruction encode/decode implementation.
+ */
+
+#include "isa/encoding.h"
+
+namespace lba::isa {
+
+std::uint64_t
+encode(const Instruction& instr)
+{
+    std::uint64_t word = 0;
+    word |= static_cast<std::uint64_t>(instr.op);
+    word |= static_cast<std::uint64_t>(instr.rd) << 8;
+    word |= static_cast<std::uint64_t>(instr.rs1) << 16;
+    word |= static_cast<std::uint64_t>(instr.rs2) << 24;
+    word |= static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(instr.imm))
+            << 32;
+    return word;
+}
+
+std::optional<Instruction>
+decode(std::uint64_t word)
+{
+    std::uint8_t op_byte = static_cast<std::uint8_t>(word & 0xff);
+    if (op_byte >= static_cast<std::uint8_t>(Opcode::kNumOpcodes)) {
+        return std::nullopt;
+    }
+    Instruction instr;
+    instr.op = static_cast<Opcode>(op_byte);
+    instr.rd = static_cast<RegIndex>((word >> 8) & 0xff);
+    instr.rs1 = static_cast<RegIndex>((word >> 16) & 0xff);
+    instr.rs2 = static_cast<RegIndex>((word >> 24) & 0xff);
+    instr.imm = static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(word >> 32));
+    if (instr.rd >= kNumRegs || instr.rs1 >= kNumRegs ||
+        instr.rs2 >= kNumRegs) {
+        return std::nullopt;
+    }
+    return instr;
+}
+
+std::vector<std::uint8_t>
+encodeProgram(const std::vector<Instruction>& program)
+{
+    std::vector<std::uint8_t> image;
+    image.reserve(program.size() * kInstrBytes);
+    for (const Instruction& instr : program) {
+        std::uint64_t word = encode(instr);
+        for (unsigned b = 0; b < kInstrBytes; ++b) {
+            image.push_back(static_cast<std::uint8_t>(word >> (8 * b)));
+        }
+    }
+    return image;
+}
+
+std::optional<std::vector<Instruction>>
+decodeProgram(const std::vector<std::uint8_t>& image)
+{
+    if (image.size() % kInstrBytes != 0) return std::nullopt;
+    std::vector<Instruction> program;
+    program.reserve(image.size() / kInstrBytes);
+    for (std::size_t i = 0; i < image.size(); i += kInstrBytes) {
+        std::uint64_t word = 0;
+        for (unsigned b = 0; b < kInstrBytes; ++b) {
+            word |= static_cast<std::uint64_t>(image[i + b]) << (8 * b);
+        }
+        auto instr = decode(word);
+        if (!instr) return std::nullopt;
+        program.push_back(*instr);
+    }
+    return program;
+}
+
+} // namespace lba::isa

@@ -1,0 +1,43 @@
+#pragma once
+/**
+ * @file
+ * Binary encoding and decoding of LRISC instructions.
+ *
+ * Every instruction occupies exactly 8 bytes (isa::kInstrBytes); the fixed
+ * width keeps program-counter prediction trivial for the log compressor and
+ * matches the paper's single-CPI in-order fetch model.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace lba::isa {
+
+/** Encode @p instr into its 8-byte little-endian form. */
+std::uint64_t encode(const Instruction& instr);
+
+/**
+ * Decode an 8-byte word into an instruction.
+ *
+ * @return std::nullopt when the opcode byte is not a valid opcode or a
+ *         register field is out of range.
+ */
+std::optional<Instruction> decode(std::uint64_t word);
+
+/** Encode a whole program into a flat byte image. */
+std::vector<std::uint8_t> encodeProgram(
+    const std::vector<Instruction>& program);
+
+/**
+ * Decode a flat byte image into instructions.
+ *
+ * @return std::nullopt when the image size is not a multiple of the
+ *         instruction width or any instruction fails to decode.
+ */
+std::optional<std::vector<Instruction>> decodeProgram(
+    const std::vector<std::uint8_t>& image);
+
+} // namespace lba::isa

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Dispatch engine implementation.
+ */
+
+#include "lifeguard/dispatch.h"
+
+namespace lba::lifeguard {
+
+DispatchEngine::DispatchEngine(Lifeguard& lifeguard,
+                               mem::CacheHierarchy& hierarchy,
+                               const DispatchConfig& config)
+    : lifeguard_(lifeguard),
+      config_(config),
+      sink_(hierarchy, config.core)
+{
+}
+
+Cycles
+DispatchEngine::consume(const log::EventRecord& record)
+{
+    lifeguard_.handleEvent(record, sink_);
+    Cycles cycles = config_.dispatch_cycles + sink_.take();
+
+    ++stats_.records;
+    stats_.total_cycles += cycles;
+    auto type = static_cast<std::size_t>(record.type);
+    ++stats_.records_by_type[type];
+    stats_.cycles_by_type[type] += cycles;
+    return cycles;
+}
+
+Cycles
+DispatchEngine::finish()
+{
+    lifeguard_.finish(sink_);
+    Cycles cycles = sink_.take();
+    stats_.total_cycles += cycles;
+    return cycles;
+}
+
+} // namespace lba::lifeguard

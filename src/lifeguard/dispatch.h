@@ -1,0 +1,111 @@
+#pragma once
+/**
+ * @file
+ * The lifeguard-core dispatch engine (paper Section 2).
+ *
+ * Models the `nlba` (next LBA record) instruction: each handler ends by
+ * issuing nlba, which pops the next record from the decompression engine,
+ * places key event values (memory address etc.) directly into the register
+ * file, and jumps through a per-event-type handler table. Because the jump
+ * table index is known as soon as the record is visible, the lookup
+ * pipelines with the previous handler; we charge a small fixed dispatch
+ * cost per record (default 1 cycle).
+ *
+ * Handler work is charged through a CostSink that routes metadata accesses
+ * through the lifeguard core's caches.
+ */
+
+#include <array>
+
+#include "lifeguard/lifeguard.h"
+#include "mem/hierarchy.h"
+#include "stats/histogram.h"
+
+namespace lba::lifeguard {
+
+/** Dispatch engine tunables. */
+struct DispatchConfig
+{
+    /** Fixed cycles per nlba dispatch (jump-table lookup, pipelined). */
+    Cycles dispatch_cycles = 1;
+    /** Which core of the hierarchy consumes the log. */
+    unsigned core = 1;
+};
+
+/** Aggregate dispatch statistics. */
+struct DispatchStats
+{
+    std::uint64_t records = 0;
+    Cycles total_cycles = 0;
+    std::array<std::uint64_t, log::kNumEventTypes> records_by_type{};
+    std::array<Cycles, log::kNumEventTypes> cycles_by_type{};
+};
+
+/**
+ * Drives one lifeguard from a record stream, producing per-record cycle
+ * costs for the coupled timing model.
+ */
+class DispatchEngine
+{
+  public:
+    /**
+     * @param lifeguard The lifeguard whose handlers consume records.
+     * @param hierarchy Cache hierarchy shared with the application core.
+     * @param config    Dispatch tunables.
+     */
+    DispatchEngine(Lifeguard& lifeguard, mem::CacheHierarchy& hierarchy,
+                   const DispatchConfig& config = {});
+
+    /**
+     * Consume one record: dispatch + handler execution.
+     * @return Cycles the lifeguard core spent on this record.
+     */
+    Cycles consume(const log::EventRecord& record);
+
+    /**
+     * Run the lifeguard's end-of-program hook.
+     * @return Cycles spent in the final pass.
+     */
+    Cycles finish();
+
+    const DispatchStats& stats() const { return stats_; }
+    Lifeguard& lifeguard() { return lifeguard_; }
+
+  private:
+    /** CostSink charging the lifeguard core. */
+    class Sink : public CostSink
+    {
+      public:
+        Sink(mem::CacheHierarchy& hierarchy, unsigned core)
+            : hierarchy_(hierarchy), core_(core)
+        {
+        }
+
+        void instrs(std::uint32_t count) override { cycles_ += count; }
+
+        void
+        memAccess(Addr addr, bool is_write) override
+        {
+            cycles_ += 1 + hierarchy_.dataAccess(core_, addr, is_write);
+        }
+
+        Cycles take()
+        {
+            Cycles c = cycles_;
+            cycles_ = 0;
+            return c;
+        }
+
+      private:
+        mem::CacheHierarchy& hierarchy_;
+        unsigned core_;
+        Cycles cycles_ = 0;
+    };
+
+    Lifeguard& lifeguard_;
+    DispatchConfig config_;
+    Sink sink_;
+    DispatchStats stats_;
+};
+
+} // namespace lba::lifeguard

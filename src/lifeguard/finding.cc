@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Finding helpers.
+ */
+
+#include "lifeguard/finding.h"
+
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace lba::lifeguard {
+
+const char*
+findingKindName(FindingKind kind)
+{
+    static const char* const names[] = {
+        "UnallocatedAccess", "DoubleFree", "MemoryLeak", "TaintedJump",
+        "DataRace", "CallRetMismatch", "Other",
+    };
+    static_assert(sizeof(names) / sizeof(names[0]) ==
+                      static_cast<std::size_t>(
+                          FindingKind::kNumFindingKinds),
+                  "finding name table must cover every kind");
+    auto idx = static_cast<std::size_t>(kind);
+    LBA_ASSERT(idx < static_cast<std::size_t>(
+                         FindingKind::kNumFindingKinds),
+               "invalid finding kind");
+    return names[idx];
+}
+
+std::string
+toString(const Finding& finding)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s tid=%u pc=0x%llx addr=0x%llx: ",
+                  findingKindName(finding.kind),
+                  static_cast<unsigned>(finding.tid),
+                  static_cast<unsigned long long>(finding.pc),
+                  static_cast<unsigned long long>(finding.addr));
+    return std::string(buf) + finding.message;
+}
+
+} // namespace lba::lifeguard

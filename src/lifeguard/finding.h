@@ -1,0 +1,46 @@
+#pragma once
+/**
+ * @file
+ * Findings: the bugs/attacks/races a lifeguard reports.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace lba::lifeguard {
+
+/** Categories of problems the bundled lifeguards can detect. */
+enum class FindingKind : std::uint8_t {
+    kUnallocatedAccess = 0, ///< AddrCheck: access to unallocated heap
+    kDoubleFree,            ///< AddrCheck: free of a non-live block
+    kMemoryLeak,            ///< AddrCheck: live block at program end
+    kTaintedJump,           ///< TaintCheck: jump target from input data
+    kDataRace,              ///< LockSet: insufficiently locked access
+    kCallRetMismatch,       ///< examples: broken call/return pairing
+    kOther,
+
+    kNumFindingKinds
+};
+
+/** Printable name of a finding kind. */
+const char* findingKindName(FindingKind kind);
+
+/** One reported problem, attributed to program location and thread. */
+struct Finding
+{
+    FindingKind kind = FindingKind::kOther;
+    /** pc of the offending instruction (0 for end-of-run findings). */
+    Addr pc = 0;
+    /** Data address involved (block base, jump target, granule...). */
+    Addr addr = 0;
+    ThreadId tid = 0;
+    std::string message;
+};
+
+/** Render a finding for reports. */
+std::string toString(const Finding& finding);
+
+} // namespace lba::lifeguard

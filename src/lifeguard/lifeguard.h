@@ -1,0 +1,100 @@
+#pragma once
+/**
+ * @file
+ * The lifeguard programming model.
+ *
+ * A lifeguard is "primarily organized as a collection of event handlers"
+ * (paper Section 2): it consumes event records one at a time and performs
+ * its checking work. Handlers here are written in C++ but report their
+ * *simulated cost* — handler instruction counts and metadata memory
+ * accesses — through a CostSink, exactly mirroring the paper's own
+ * methodology of event-driven lifeguard execution on a modelled core.
+ *
+ * The same Lifeguard instance runs unchanged on both platforms:
+ *  - LBA: the dispatch engine on the lifeguard core feeds it records from
+ *    the log buffer and charges costs to the lifeguard core's clock/caches.
+ *  - DBI baseline: the inline instrumentation engine feeds it the same
+ *    records on the application core, charging costs there.
+ * Platform changes *when/where* the cost is paid, never the findings.
+ */
+
+#include <vector>
+
+#include "common/types.h"
+#include "lifeguard/finding.h"
+#include "log/event.h"
+
+namespace lba::lifeguard {
+
+/**
+ * Receives the simulated cost of handler execution. Implemented by each
+ * monitoring platform.
+ */
+class CostSink
+{
+  public:
+    virtual ~CostSink() = default;
+
+    /** Charge @p count single-cycle handler instructions. */
+    virtual void instrs(std::uint32_t count) = 0;
+
+    /**
+     * Charge one handler load/store of lifeguard metadata at simulated
+     * address @p addr (routed through the consuming core's caches; the
+     * access cycle itself is included, do not double count with instrs()).
+     */
+    virtual void memAccess(Addr addr, bool is_write) = 0;
+};
+
+/** A CostSink that discards costs (for functional-only runs and tests). */
+class NullCostSink : public CostSink
+{
+  public:
+    void instrs(std::uint32_t) override {}
+    void memAccess(Addr, bool) override {}
+};
+
+/**
+ * Base class for all lifeguards.
+ */
+class Lifeguard
+{
+  public:
+    virtual ~Lifeguard() = default;
+
+    /** Human-readable lifeguard name ("AddrCheck", ...). */
+    virtual const char* name() const = 0;
+
+    /** Process one event record, charging handler cost to @p cost. */
+    virtual void handleEvent(const log::EventRecord& record,
+                             CostSink& cost) = 0;
+
+    /**
+     * End-of-program hook (e.g. AddrCheck's leak scan). Called once after
+     * the last record has been consumed.
+     */
+    virtual void finish(CostSink& cost) { (void)cost; }
+
+    /** All problems reported so far, in detection order. */
+    const std::vector<Finding>& findings() const { return findings_; }
+
+    /** Number of findings of a particular kind. */
+    std::size_t
+    countFindings(FindingKind kind) const
+    {
+        std::size_t n = 0;
+        for (const Finding& f : findings_) {
+            if (f.kind == kind) ++n;
+        }
+        return n;
+    }
+
+  protected:
+    /** Report a problem. */
+    void report(Finding finding) { findings_.push_back(std::move(finding)); }
+
+  private:
+    std::vector<Finding> findings_;
+};
+
+} // namespace lba::lifeguard

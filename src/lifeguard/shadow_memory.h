@@ -1,0 +1,97 @@
+#pragma once
+/**
+ * @file
+ * Paged shadow memory for lifeguard metadata.
+ *
+ * Lifeguards keep per-address metadata (allocation bits, taint bits,
+ * Eraser granule state). Functionally the metadata lives in host pages;
+ * for *timing*, every entry has a deterministic simulated address
+ * (shadowAddr) that the platform routes through the consuming core's
+ * caches, so metadata locality behaves like the real lifeguard's table
+ * walks.
+ *
+ * @tparam Entry        Metadata type per granule (trivially copyable).
+ * @tparam GranuleBytes Application bytes covered by one entry.
+ */
+
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace lba::lifeguard {
+
+/** Base of the simulated shadow region (outside application space). */
+inline constexpr Addr kShadowBase = 0x4000000000ull;
+
+template <typename Entry, unsigned GranuleBytes>
+class ShadowMemory
+{
+    static_assert(GranuleBytes > 0 && (GranuleBytes & (GranuleBytes - 1)) == 0,
+                  "granule must be a power of two");
+
+  public:
+    /** Entries per host page. */
+    static constexpr std::size_t kPageEntries = 4096;
+
+    /**
+     * @param region_base Simulated base address of this shadow table
+     *                    (distinct per lifeguard; see kShadowBase).
+     */
+    explicit ShadowMemory(Addr region_base = kShadowBase)
+        : region_base_(region_base)
+    {
+    }
+
+    /** Metadata entry covering application address @p app_addr. */
+    Entry&
+    entry(Addr app_addr)
+    {
+        std::uint64_t index = granuleIndex(app_addr);
+        auto [it, inserted] = pages_.try_emplace(index / kPageEntries);
+        if (inserted) {
+            it->second = std::make_unique<Entry[]>(kPageEntries);
+            std::memset(static_cast<void*>(it->second.get()), 0,
+                        kPageEntries * sizeof(Entry));
+        }
+        return it->second[index % kPageEntries];
+    }
+
+    /** Read-only lookup; returns nullptr for untouched granules. */
+    const Entry*
+    find(Addr app_addr) const
+    {
+        std::uint64_t index = granuleIndex(app_addr);
+        auto it = pages_.find(index / kPageEntries);
+        return it == pages_.end() ? nullptr
+                                  : &it->second[index % kPageEntries];
+    }
+
+    /**
+     * Simulated address of the entry for @p app_addr, for cache timing.
+     */
+    Addr
+    shadowAddr(Addr app_addr) const
+    {
+        return region_base_ + granuleIndex(app_addr) * sizeof(Entry);
+    }
+
+    /** Number of granules per entry, in application bytes. */
+    static constexpr unsigned granuleBytes() { return GranuleBytes; }
+
+    /** Number of host pages materialized. */
+    std::size_t numPages() const { return pages_.size(); }
+
+  private:
+    static std::uint64_t
+    granuleIndex(Addr app_addr)
+    {
+        return app_addr / GranuleBytes;
+    }
+
+    Addr region_base_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Entry[]>> pages_;
+};
+
+} // namespace lba::lifeguard

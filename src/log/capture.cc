@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Capture unit record formation.
+ */
+
+#include "log/capture.h"
+
+namespace lba::log {
+
+EventRecord
+CaptureUnit::makeRecord(const sim::Retired& retired)
+{
+    EventRecord record;
+    record.pc = retired.pc;
+    record.tid = retired.tid;
+    record.type = eventTypeOf(isa::classOf(retired.instr.op));
+    record.opcode = static_cast<std::uint8_t>(retired.instr.op);
+    record.rd = retired.instr.rd;
+    record.rs1 = retired.instr.rs1;
+    record.rs2 = retired.instr.rs2;
+    if (retired.mem_bytes > 0) {
+        record.addr = retired.mem_addr;
+        record.aux = retired.mem_bytes;
+    } else if (retired.ctrl_taken) {
+        record.addr = retired.ctrl_target;
+        record.aux = 1; // taken
+    }
+    return record;
+}
+
+EventRecord
+CaptureUnit::makeRecord(const sim::OsEvent& event)
+{
+    EventRecord record;
+    record.tid = event.tid;
+    record.type = eventTypeOf(event.type);
+    record.addr = event.addr;
+    record.aux = event.size;
+    return record;
+}
+
+} // namespace lba::log

@@ -1,0 +1,50 @@
+#pragma once
+/**
+ * @file
+ * The capture unit: converts the application core's retirement stream into
+ * LBA event records (the "capture" box of the paper's Figure 1).
+ */
+
+#include <functional>
+
+#include "log/event.h"
+#include "sim/process.h"
+
+namespace lba::log {
+
+/**
+ * A RetireObserver that forms event records and hands them to a sink.
+ *
+ * The sink typically compresses the record and appends it to the log
+ * buffer; in tests it may simply collect records.
+ */
+class CaptureUnit : public sim::RetireObserver
+{
+  public:
+    using Sink = std::function<void(const EventRecord&)>;
+
+    explicit CaptureUnit(Sink sink) : sink_(std::move(sink)) {}
+
+    /** Build one record from a retirement observation (exposed for tests). */
+    static EventRecord makeRecord(const sim::Retired& retired);
+
+    /** Build one record from an OS event (exposed for tests). */
+    static EventRecord makeRecord(const sim::OsEvent& event);
+
+    void
+    onRetire(const sim::Retired& retired) override
+    {
+        sink_(makeRecord(retired));
+    }
+
+    void
+    onOsEvent(const sim::OsEvent& event) override
+    {
+        sink_(makeRecord(event));
+    }
+
+  private:
+    Sink sink_;
+};
+
+} // namespace lba::log

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Event record helpers.
+ */
+
+#include "log/event.h"
+
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace lba::log {
+
+const char*
+eventTypeName(EventType type)
+{
+    static const char* const names[] = {
+        "Nop", "Halt", "LoadImm", "Move", "IntAlu", "Load", "Store",
+        "Branch", "Jump", "IndirectJump", "Call", "IndirectCall",
+        "Return", "Syscall", "Alloc", "Free", "Input", "Output", "Lock",
+        "Unlock", "ThreadSpawn", "ThreadExit",
+    };
+    static_assert(sizeof(names) / sizeof(names[0]) == kNumEventTypes,
+                  "event name table must cover every event type");
+    auto idx = static_cast<std::size_t>(type);
+    LBA_ASSERT(idx < kNumEventTypes, "invalid event type");
+    return names[idx];
+}
+
+std::string
+toString(const EventRecord& record)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "[t%u pc=0x%llx %s op=%u rd=%u rs1=%u rs2=%u "
+                  "addr=0x%llx aux=%llu]",
+                  static_cast<unsigned>(record.tid),
+                  static_cast<unsigned long long>(record.pc),
+                  eventTypeName(record.type),
+                  static_cast<unsigned>(record.opcode),
+                  static_cast<unsigned>(record.rd),
+                  static_cast<unsigned>(record.rs1),
+                  static_cast<unsigned>(record.rs2),
+                  static_cast<unsigned long long>(record.addr),
+                  static_cast<unsigned long long>(record.aux));
+    return buf;
+}
+
+} // namespace lba::log

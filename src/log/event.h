@@ -1,0 +1,122 @@
+#pragma once
+/**
+ * @file
+ * The LBA event-record format.
+ *
+ * Per the paper (Section 2), as an application instruction retires the
+ * capture hardware creates an event record containing the instruction's
+ * (a) program counter, (b) type, (c) input and output operand identifiers,
+ * and (d) load/store memory address if present. In addition to the
+ * instruction-class events we define *annotation* events for OS-level
+ * actions (allocation, input, locking) — the information lifeguards such
+ * as AddrCheck/TaintCheck/LockSet obtain from instrumented library calls
+ * on a real system.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "isa/isa.h"
+#include "sim/syscalls.h"
+
+namespace lba::log {
+
+/**
+ * Event types carried in the log. Instruction events mirror
+ * isa::InstrClass value-for-value; annotation events follow.
+ */
+enum class EventType : std::uint8_t {
+    // Instruction events (values == isa::InstrClass values).
+    kNop = 0,
+    kHalt,
+    kLoadImm,
+    kMove,
+    kIntAlu,
+    kLoad,
+    kStore,
+    kBranch,
+    kJump,
+    kIndirectJump,
+    kCall,
+    kIndirectCall,
+    kReturn,
+    kSyscall,
+    // Annotation events produced at syscall completion.
+    kAlloc,
+    kFree,
+    kInput,
+    kOutput,
+    kLock,
+    kUnlock,
+    kThreadSpawn,
+    kThreadExit,
+
+    kNumEventTypes
+};
+
+/** Number of distinct event types (the dispatch table width). */
+inline constexpr unsigned kNumEventTypes =
+    static_cast<unsigned>(EventType::kNumEventTypes);
+
+/** Map an instruction class to its event type. */
+inline EventType
+eventTypeOf(isa::InstrClass cls)
+{
+    return static_cast<EventType>(static_cast<std::uint8_t>(cls));
+}
+
+/** Map an OS event type to its annotation event type. */
+inline EventType
+eventTypeOf(sim::OsEventType type)
+{
+    return static_cast<EventType>(
+        static_cast<std::uint8_t>(EventType::kAlloc) +
+        static_cast<std::uint8_t>(type));
+}
+
+/** True for annotation (OS-level) events. */
+inline bool
+isAnnotation(EventType type)
+{
+    return static_cast<std::uint8_t>(type) >=
+           static_cast<std::uint8_t>(EventType::kAlloc);
+}
+
+/** Printable event-type name. */
+const char* eventTypeName(EventType type);
+
+/**
+ * One log record. For instruction events the fields carry the paper's
+ * (pc, type, operand ids, memory address); for annotation events addr/aux
+ * carry the event payload (e.g. block base and size for kAlloc).
+ */
+struct EventRecord
+{
+    Addr pc = 0;
+    EventType type = EventType::kNop;
+    ThreadId tid = 0;
+
+    /** Raw opcode (identifies the exact operation within the class). */
+    std::uint8_t opcode = 0;
+    /** Output operand identifier (destination register). */
+    std::uint8_t rd = 0;
+    /** Input operand identifiers (source registers). */
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+
+    /**
+     * Load/store effective address; taken target for control transfers;
+     * payload address for annotation events.
+     */
+    Addr addr = 0;
+    /** Annotation payload (e.g. allocation size). */
+    std::uint64_t aux = 0;
+
+    bool operator==(const EventRecord&) const = default;
+};
+
+/** Render a record for debugging/tests. */
+std::string toString(const EventRecord& record);
+
+} // namespace lba::log

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Log buffer implementation.
+ */
+
+#include "log/log_buffer.h"
+
+#include "common/assert.h"
+
+namespace lba::log {
+
+LogBuffer::LogBuffer(std::size_t capacity)
+    : capacity_(capacity)
+{
+    LBA_ASSERT(capacity > 0, "log buffer capacity must be positive");
+}
+
+bool
+LogBuffer::push(const EventRecord& record, Cycles produced_at)
+{
+    if (full()) {
+        ++stats_.full_events;
+        return false;
+    }
+    entries_.push_back({record, produced_at});
+    ++stats_.pushes;
+    if (entries_.size() > stats_.max_occupancy) {
+        stats_.max_occupancy = entries_.size();
+    }
+    return true;
+}
+
+bool
+LogBuffer::pop(Entry* out)
+{
+    if (entries_.empty()) {
+        ++stats_.empty_events;
+        return false;
+    }
+    if (out) *out = entries_.front();
+    entries_.pop_front();
+    ++stats_.pops;
+    return true;
+}
+
+const LogBuffer::Entry*
+LogBuffer::front() const
+{
+    return entries_.empty() ? nullptr : &entries_.front();
+}
+
+} // namespace lba::log

@@ -1,0 +1,84 @@
+#pragma once
+/**
+ * @file
+ * The bounded log buffer decoupling the application core from the
+ * lifeguard core.
+ *
+ * Per the paper, the two cores are not synchronized: they coordinate only
+ * through this buffer, so log consumption typically lags event retirement
+ * (enabling pipeline-style processing on the lifeguard core), and the
+ * buffer provides the back-pressure that stalls the application when the
+ * lifeguard falls too far behind. Each entry carries the cycle at which
+ * the producing core appended it so the coupled timing model can honour
+ * "a record cannot be consumed before it was produced".
+ */
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.h"
+#include "log/event.h"
+
+namespace lba::log {
+
+/** Occupancy and stall accounting for the buffer. */
+struct LogBufferStats
+{
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;
+    std::uint64_t max_occupancy = 0;
+    /** Times a producer found the buffer full. */
+    std::uint64_t full_events = 0;
+    /** Times a consumer found the buffer empty. */
+    std::uint64_t empty_events = 0;
+};
+
+/**
+ * FIFO of (record, produce-cycle) pairs with a fixed capacity.
+ */
+class LogBuffer
+{
+  public:
+    /** One queued record plus the cycle its production completed. */
+    struct Entry
+    {
+        EventRecord record;
+        Cycles produced_at = 0;
+    };
+
+    /** @param capacity Maximum number of in-flight records. */
+    explicit LogBuffer(std::size_t capacity);
+
+    /** True when no further records fit. */
+    bool full() const { return entries_.size() >= capacity_; }
+
+    /** True when no records are queued. */
+    bool empty() const { return entries_.empty(); }
+
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Append a record produced at @p produced_at.
+     * @return False (and counts a full event) when the buffer is full.
+     */
+    bool push(const EventRecord& record, Cycles produced_at);
+
+    /**
+     * Remove the oldest record.
+     * @return False (and counts an empty event) when the buffer is empty.
+     */
+    bool pop(Entry* out);
+
+    /** Peek at the oldest record without removing it. */
+    const Entry* front() const;
+
+    const LogBufferStats& stats() const { return stats_; }
+
+  private:
+    std::size_t capacity_;
+    std::deque<Entry> entries_;
+    LogBufferStats stats_;
+};
+
+} // namespace lba::log

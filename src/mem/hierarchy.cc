@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Cache-hierarchy timing implementation.
+ */
+
+#include "mem/hierarchy.h"
+
+#include "common/assert.h"
+
+namespace lba::mem {
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
+    : config_(config)
+{
+    LBA_ASSERT(config_.num_cores > 0, "need at least one core");
+    for (unsigned c = 0; c < config_.num_cores; ++c) {
+        CacheConfig l1i_cfg{"l1i" + std::to_string(c), config_.l1i_bytes,
+                            config_.line_bytes, config_.l1_assoc};
+        CacheConfig l1d_cfg{"l1d" + std::to_string(c), config_.l1d_bytes,
+                            config_.line_bytes, config_.l1_assoc};
+        l1i_.push_back(std::make_unique<Cache>(l1i_cfg));
+        l1d_.push_back(std::make_unique<Cache>(l1d_cfg));
+    }
+    CacheConfig l2_cfg{"l2", config_.l2_bytes, config_.line_bytes,
+                       config_.l2_assoc};
+    l2_ = std::make_unique<Cache>(l2_cfg);
+}
+
+Cycles
+CacheHierarchy::l2Path(Addr addr, bool is_write)
+{
+    if (l2_->access(addr, is_write)) {
+        return config_.l2_hit_cycles;
+    }
+    return config_.l2_hit_cycles + config_.mem_cycles;
+}
+
+Cycles
+CacheHierarchy::instrFetch(unsigned core, Addr pc)
+{
+    LBA_ASSERT(core < l1i_.size(), "core index out of range");
+    if (l1i_[core]->access(pc, false)) {
+        return 0;
+    }
+    return l2Path(pc, false);
+}
+
+Cycles
+CacheHierarchy::dataAccess(unsigned core, Addr addr, bool is_write)
+{
+    LBA_ASSERT(core < l1d_.size(), "core index out of range");
+    if (l1d_[core]->access(addr, is_write)) {
+        return 0;
+    }
+    return l2Path(addr, is_write);
+}
+
+void
+CacheHierarchy::flushAll()
+{
+    for (auto& cache : l1i_) cache->flush();
+    for (auto& cache : l1d_) cache->flush();
+    l2_->flush();
+}
+
+void
+CacheHierarchy::resetStats()
+{
+    for (auto& cache : l1i_) cache->resetStats();
+    for (auto& cache : l1d_) cache->resetStats();
+    l2_->resetStats();
+}
+
+} // namespace lba::mem

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Sparse memory implementation.
+ */
+
+#include "mem/memory.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace lba::mem {
+
+const std::uint8_t*
+Memory::findPage(Addr addr) const
+{
+    auto it = pages_.find(addr >> kPageShift);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint8_t*
+Memory::touchPage(Addr addr)
+{
+    Page& page = pages_[addr >> kPageShift];
+    if (!page) {
+        page = std::make_unique<std::uint8_t[]>(kPageBytes);
+        std::memset(page.get(), 0, kPageBytes);
+    }
+    return page.get();
+}
+
+std::uint8_t
+Memory::read8(Addr addr) const
+{
+    const std::uint8_t* page = findPage(addr);
+    return page ? page[addr & (kPageBytes - 1)] : 0;
+}
+
+void
+Memory::write8(Addr addr, std::uint8_t value)
+{
+    touchPage(addr)[addr & (kPageBytes - 1)] = value;
+}
+
+std::uint32_t
+Memory::read32(Addr addr) const
+{
+    std::uint32_t value = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+        value |= static_cast<std::uint32_t>(read8(addr + b)) << (8 * b);
+    }
+    return value;
+}
+
+std::uint64_t
+Memory::read64(Addr addr) const
+{
+    std::uint64_t value = 0;
+    for (unsigned b = 0; b < 8; ++b) {
+        value |= static_cast<std::uint64_t>(read8(addr + b)) << (8 * b);
+    }
+    return value;
+}
+
+void
+Memory::write32(Addr addr, std::uint32_t value)
+{
+    for (unsigned b = 0; b < 4; ++b) {
+        write8(addr + b, static_cast<std::uint8_t>(value >> (8 * b)));
+    }
+}
+
+void
+Memory::write64(Addr addr, std::uint64_t value)
+{
+    for (unsigned b = 0; b < 8; ++b) {
+        write8(addr + b, static_cast<std::uint8_t>(value >> (8 * b)));
+    }
+}
+
+std::uint64_t
+Memory::readValue(Addr addr, unsigned bytes) const
+{
+    switch (bytes) {
+      case 1: return read8(addr);
+      case 4: return read32(addr);
+      case 8: return read64(addr);
+      default: LBA_ASSERT(false, "unsupported access width");
+    }
+}
+
+void
+Memory::writeValue(Addr addr, std::uint64_t value, unsigned bytes)
+{
+    switch (bytes) {
+      case 1:
+        write8(addr, static_cast<std::uint8_t>(value));
+        break;
+      case 4:
+        write32(addr, static_cast<std::uint32_t>(value));
+        break;
+      case 8:
+        write64(addr, value);
+        break;
+      default:
+        LBA_ASSERT(false, "unsupported access width");
+    }
+}
+
+void
+Memory::writeBytes(Addr addr, const std::uint8_t* data, std::size_t len)
+{
+    for (std::size_t i = 0; i < len; ++i) {
+        write8(addr + i, data[i]);
+    }
+}
+
+} // namespace lba::mem

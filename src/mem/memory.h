@@ -1,0 +1,69 @@
+#pragma once
+/**
+ * @file
+ * Sparse functional main memory for the simulated machine.
+ *
+ * Backing storage is allocated lazily in 4 KiB pages; untouched memory
+ * reads as zero. This is the *functional* store — timing is modelled
+ * separately by mem/hierarchy.h so the lifeguard platforms can share one
+ * functional image while keeping distinct cache behaviour.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace lba::mem {
+
+/** Byte-addressable sparse memory with 64-bit addressing. */
+class Memory
+{
+  public:
+    static constexpr unsigned kPageShift = 12;
+    static constexpr std::size_t kPageBytes = 1ull << kPageShift;
+
+    /** Read one byte (0 for untouched memory). */
+    std::uint8_t read8(Addr addr) const;
+
+    /** Read a little-endian 32-bit word. */
+    std::uint32_t read32(Addr addr) const;
+
+    /** Read a little-endian 64-bit word. */
+    std::uint64_t read64(Addr addr) const;
+
+    /** Write one byte. */
+    void write8(Addr addr, std::uint8_t value);
+
+    /** Write a little-endian 32-bit word. */
+    void write32(Addr addr, std::uint32_t value);
+
+    /** Write a little-endian 64-bit word. */
+    void write64(Addr addr, std::uint64_t value);
+
+    /** Read @p size bytes with @p width-agnostic access (1, 4, or 8). */
+    std::uint64_t readValue(Addr addr, unsigned bytes) const;
+
+    /** Write the low @p bytes bytes of @p value at @p addr. */
+    void writeValue(Addr addr, std::uint64_t value, unsigned bytes);
+
+    /** Copy a byte buffer into memory. */
+    void writeBytes(Addr addr, const std::uint8_t* data, std::size_t len);
+
+    /** Number of pages currently materialized (for tests/stats). */
+    std::size_t numPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::unique_ptr<std::uint8_t[]>;
+
+    /** Find the page containing @p addr, or nullptr if untouched. */
+    const std::uint8_t* findPage(Addr addr) const;
+
+    /** Find or create the page containing @p addr. */
+    std::uint8_t* touchPage(Addr addr);
+
+    std::unordered_map<Addr, Page> pages_;
+};
+
+} // namespace lba::mem

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Checkpointer implementation.
+ */
+
+#include "replay/checkpoint.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace lba::replay {
+
+Checkpointer::Checkpointer(sim::Process& process,
+                           sim::RetireObserver* inner)
+    : process_(process), inner_(inner)
+{
+    takeCheckpoint();
+}
+
+void
+Checkpointer::takeCheckpoint()
+{
+    thread_snapshot_.clear();
+    for (ThreadId tid = 0; tid < process_.numThreads(); ++tid) {
+        thread_snapshot_.push_back(process_.thread(tid));
+    }
+    scheduler_snapshot_ = process_.schedulerCursor();
+    stats_.max_window_entries =
+        std::max<std::uint64_t>(stats_.max_window_entries, undo_.size());
+    undo_.clear();
+    window_instructions_ = 0;
+    ++stats_.checkpoints;
+}
+
+void
+Checkpointer::onRetire(const sim::Retired& retired)
+{
+    ++window_instructions_;
+    if (inner_) inner_->onRetire(retired);
+}
+
+void
+Checkpointer::onOsEvent(const sim::OsEvent& event)
+{
+    if (inner_) inner_->onOsEvent(event);
+}
+
+void
+Checkpointer::onSyscallComplete(ThreadId tid)
+{
+    if (inner_) inner_->onSyscallComplete(tid);
+    // All OS-side effects (input writes, allocations, wakeups) are
+    // applied and the next instruction has not executed: a consistent
+    // rewind point.
+    takeCheckpoint();
+}
+
+void
+Checkpointer::onPreStore(ThreadId, Addr addr, unsigned bytes,
+                         Word old_value)
+{
+    undo_.push_back({addr, old_value, static_cast<std::uint8_t>(bytes)});
+    ++stats_.undo_entries;
+}
+
+void
+Checkpointer::rewind()
+{
+    // Undo memory writes, newest first.
+    mem::Memory& memory = process_.memory();
+    for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+        memory.writeValue(it->addr, it->old_value, it->bytes);
+    }
+    undo_.clear();
+
+    // Threads created since the checkpoint were created by a syscall,
+    // and checkpoints sit at syscall boundaries, so the count matches.
+    LBA_ASSERT(thread_snapshot_.size() == process_.numThreads(),
+               "rewind window unexpectedly crossed a thread spawn");
+    for (ThreadId tid = 0; tid < thread_snapshot_.size(); ++tid) {
+        process_.restoreThread(tid, thread_snapshot_[tid]);
+    }
+    process_.setSchedulerCursor(scheduler_snapshot_);
+    window_instructions_ = 0;
+    ++stats_.rewinds;
+}
+
+} // namespace lba::replay

@@ -1,0 +1,117 @@
+#pragma once
+/**
+ * @file
+ * Checkpoint/rewind support — the paper's Section 1 extension: "the log
+ * captures the dynamic history of a monitored program ... providing a
+ * means, when a problem is detected, to (selectively) rewind the
+ * monitored program and possibly perform on-the-fly bug repair". The
+ * paper's footnote 1 notes that rewind needs additional record fields;
+ * the extra state is exactly the overwritten value of every store,
+ * which this module captures as an undo log.
+ *
+ * Design: the syscall-containment mechanism already guarantees the
+ * lifeguard has checked everything *before* each syscall, so detection
+ * lag never spans a syscall. The Checkpointer therefore snapshots
+ * thread state at syscall boundaries; between checkpoints the only
+ * mutable state is memory written by ordinary stores, which the undo
+ * log captures. rewind() restores the exact machine state at the last
+ * checkpoint, after which the program can be resumed — optionally after
+ * patching the offending instruction (see examples/rewind_repair.cpp).
+ *
+ * (Contrast with BugNet / Flight Data Recorder, which record for
+ * *offline* replay; LBA wants online rewind within the containment
+ * window.)
+ */
+
+#include <vector>
+
+#include "sim/cpu.h"
+#include "sim/process.h"
+
+namespace lba::replay {
+
+/** Accounting for checkpoint/rewind activity. */
+struct CheckpointStats
+{
+    std::uint64_t checkpoints = 0;
+    std::uint64_t undo_entries = 0;
+    std::uint64_t rewinds = 0;
+    /** High-water mark of undo entries between two checkpoints. */
+    std::uint64_t max_window_entries = 0;
+};
+
+/**
+ * Observer wrapper that maintains rewind capability for a Process.
+ *
+ * Wire it as BOTH the process's RetireObserver (forwarding to the real
+ * monitoring platform) and its StoreInterceptor:
+ * @code
+ *   replay::Checkpointer cp(process, &lba_system);
+ *   process.setStoreInterceptor(&cp);
+ *   process.run(&cp);
+ *   ...
+ *   cp.rewind();     // back to the last syscall boundary
+ * @endcode
+ */
+class Checkpointer : public sim::RetireObserver,
+                     public sim::StoreInterceptor
+{
+  public:
+    /**
+     * @param process The process to checkpoint (must outlive this).
+     * @param inner   Downstream observer (the monitoring platform);
+     *                may be nullptr.
+     */
+    explicit Checkpointer(sim::Process& process,
+                          sim::RetireObserver* inner = nullptr);
+
+    // RetireObserver: forward + manage checkpoint boundaries.
+    void onRetire(const sim::Retired& retired) override;
+    void onOsEvent(const sim::OsEvent& event) override;
+    void onSyscallComplete(ThreadId tid) override;
+
+    // StoreInterceptor: undo logging.
+    void onPreStore(ThreadId tid, Addr addr, unsigned bytes,
+                    Word old_value) override;
+
+    /**
+     * Snapshot the current architectural state and clear the undo log.
+     * Called automatically after every syscall; callable manually.
+     */
+    void takeCheckpoint();
+
+    /**
+     * Restore the machine to the last checkpoint: undo every store
+     * since (in reverse order) and restore thread/scheduler state.
+     */
+    void rewind();
+
+    /** Instructions retired since the last checkpoint. */
+    std::uint64_t
+    instructionsSinceCheckpoint() const
+    {
+        return window_instructions_;
+    }
+
+    const CheckpointStats& stats() const { return stats_; }
+
+  private:
+    struct UndoEntry
+    {
+        Addr addr;
+        Word old_value;
+        std::uint8_t bytes;
+    };
+
+    sim::Process& process_;
+    sim::RetireObserver* inner_;
+
+    std::vector<sim::Thread> thread_snapshot_;
+    std::size_t scheduler_snapshot_ = 0;
+    std::vector<UndoEntry> undo_;
+    std::uint64_t window_instructions_ = 0;
+
+    CheckpointStats stats_;
+};
+
+} // namespace lba::replay

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Functional instruction execution.
+ */
+
+#include "sim/cpu.h"
+
+#include "common/assert.h"
+
+namespace lba::sim {
+
+using isa::Instruction;
+using isa::Opcode;
+
+Retired
+execute(Thread& thread, mem::Memory& memory, const Instruction& instr)
+{
+    Retired ret;
+    ret.tid = thread.tid;
+    ret.pc = thread.pc;
+    ret.instr = instr;
+
+    Addr next_pc = thread.pc + isa::kInstrBytes;
+    const Word a = thread.reg(instr.rs1);
+    const Word b = thread.reg(instr.rs2);
+    const auto imm_s = static_cast<std::int64_t>(instr.imm);
+    const auto imm_w = static_cast<Word>(imm_s);
+
+    auto take = [&](Addr target) {
+        ret.ctrl_taken = true;
+        ret.ctrl_target = target;
+        next_pc = target;
+    };
+
+    switch (instr.op) {
+      case Opcode::kNop:
+        break;
+      case Opcode::kHalt:
+        ret.is_halt = true;
+        break;
+
+      case Opcode::kLi:
+        thread.setReg(instr.rd, imm_w);
+        break;
+      case Opcode::kLih:
+        thread.setReg(instr.rd,
+                      (thread.reg(instr.rd) & 0xffffffffull) |
+                          (static_cast<Word>(
+                               static_cast<std::uint32_t>(instr.imm))
+                           << 32));
+        break;
+      case Opcode::kMov:
+        thread.setReg(instr.rd, a);
+        break;
+
+      case Opcode::kAdd:
+        thread.setReg(instr.rd, a + b);
+        break;
+      case Opcode::kSub:
+        thread.setReg(instr.rd, a - b);
+        break;
+      case Opcode::kMul:
+        thread.setReg(instr.rd, a * b);
+        break;
+      case Opcode::kDivu:
+        thread.setReg(instr.rd, b ? a / b : ~0ull);
+        break;
+      case Opcode::kRemu:
+        thread.setReg(instr.rd, b ? a % b : a);
+        break;
+      case Opcode::kAnd:
+        thread.setReg(instr.rd, a & b);
+        break;
+      case Opcode::kOr:
+        thread.setReg(instr.rd, a | b);
+        break;
+      case Opcode::kXor:
+        thread.setReg(instr.rd, a ^ b);
+        break;
+      case Opcode::kShl:
+        thread.setReg(instr.rd, a << (b & 63));
+        break;
+      case Opcode::kShr:
+        thread.setReg(instr.rd, a >> (b & 63));
+        break;
+      case Opcode::kSra:
+        thread.setReg(instr.rd,
+                      static_cast<Word>(static_cast<std::int64_t>(a) >>
+                                        (b & 63)));
+        break;
+      case Opcode::kSlt:
+        thread.setReg(instr.rd, static_cast<std::int64_t>(a) <
+                                        static_cast<std::int64_t>(b)
+                                    ? 1
+                                    : 0);
+        break;
+      case Opcode::kSltu:
+        thread.setReg(instr.rd, a < b ? 1 : 0);
+        break;
+
+      case Opcode::kAddi:
+        thread.setReg(instr.rd, a + imm_w);
+        break;
+      case Opcode::kMuli:
+        thread.setReg(instr.rd, a * imm_w);
+        break;
+      case Opcode::kAndi:
+        thread.setReg(instr.rd, a & imm_w);
+        break;
+      case Opcode::kOri:
+        thread.setReg(instr.rd, a | imm_w);
+        break;
+      case Opcode::kXori:
+        thread.setReg(instr.rd, a ^ imm_w);
+        break;
+      case Opcode::kShli:
+        thread.setReg(instr.rd, a << (imm_w & 63));
+        break;
+      case Opcode::kShri:
+        thread.setReg(instr.rd, a >> (imm_w & 63));
+        break;
+
+      case Opcode::kLb:
+      case Opcode::kLw:
+      case Opcode::kLd: {
+        Addr ea = a + imm_w;
+        unsigned bytes = isa::memAccessBytes(instr.op);
+        thread.setReg(instr.rd, memory.readValue(ea, bytes));
+        ret.mem_addr = ea;
+        ret.mem_bytes = bytes;
+        break;
+      }
+      case Opcode::kSb:
+      case Opcode::kSw:
+      case Opcode::kSd: {
+        Addr ea = a + imm_w;
+        unsigned bytes = isa::memAccessBytes(instr.op);
+        memory.writeValue(ea, b, bytes);
+        ret.mem_addr = ea;
+        ret.mem_bytes = bytes;
+        ret.mem_is_write = true;
+        break;
+      }
+
+      case Opcode::kBeq:
+        if (a == b) take(thread.pc + imm_s);
+        break;
+      case Opcode::kBne:
+        if (a != b) take(thread.pc + imm_s);
+        break;
+      case Opcode::kBlt:
+        if (static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b)) {
+            take(thread.pc + imm_s);
+        }
+        break;
+      case Opcode::kBge:
+        if (static_cast<std::int64_t>(a) >= static_cast<std::int64_t>(b)) {
+            take(thread.pc + imm_s);
+        }
+        break;
+      case Opcode::kBltu:
+        if (a < b) take(thread.pc + imm_s);
+        break;
+      case Opcode::kBgeu:
+        if (a >= b) take(thread.pc + imm_s);
+        break;
+
+      case Opcode::kJmp:
+        take(thread.pc + imm_s);
+        break;
+      case Opcode::kJr:
+        take(a);
+        break;
+      case Opcode::kCall:
+        thread.setReg(isa::kRegLr, thread.pc + isa::kInstrBytes);
+        take(thread.pc + imm_s);
+        break;
+      case Opcode::kCallr:
+        thread.setReg(isa::kRegLr, thread.pc + isa::kInstrBytes);
+        take(a);
+        break;
+      case Opcode::kRet:
+        take(thread.reg(isa::kRegLr));
+        break;
+
+      case Opcode::kSyscall:
+        ret.is_syscall = true;
+        break;
+
+      case Opcode::kNumOpcodes:
+        LBA_ASSERT(false, "invalid opcode reached execute()");
+    }
+
+    thread.pc = next_pc;
+    return ret;
+}
+
+} // namespace lba::sim

@@ -1,0 +1,96 @@
+#pragma once
+/**
+ * @file
+ * Functional execution of single LRISC instructions.
+ *
+ * A Thread holds the architectural state (registers + pc). execute() applies
+ * one decoded instruction to a thread against a Memory, returning everything
+ * an observer (log capture, DBI engine, timing model) needs to know about
+ * the retirement: effective address, control-flow outcome, and whether the
+ * instruction raised a syscall or halted.
+ *
+ * execute() performs the register/memory side effects of everything EXCEPT
+ * syscalls, which are reported to the caller (the Process) to run OS
+ * semantics; the syscall instruction itself still retires normally.
+ */
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.h"
+#include "isa/isa.h"
+#include "mem/memory.h"
+
+namespace lba::sim {
+
+/** Run state of a simulated thread. */
+enum class ThreadState : std::uint8_t {
+    kReady,      ///< runnable
+    kBlockedLock,///< waiting on a contended lock
+    kBlockedJoin,///< waiting for another thread to exit
+    kDone,       ///< exited normally
+    kFaulted,    ///< control left the code region or similar fatal error
+};
+
+/** Architectural state of one simulated thread. */
+struct Thread
+{
+    std::array<Word, isa::kNumRegs> regs{};
+    Addr pc = 0;
+    ThreadState state = ThreadState::kReady;
+    ThreadId tid = 0;
+    /** Lock address or tid this thread is blocked on. */
+    Addr wait_target = 0;
+
+    /** Read a register (r0 always reads 0). */
+    Word
+    reg(RegIndex index) const
+    {
+        return index == isa::kRegZero ? 0 : regs[index];
+    }
+
+    /** Write a register (writes to r0 are discarded). */
+    void
+    setReg(RegIndex index, Word value)
+    {
+        if (index != isa::kRegZero) regs[index] = value;
+    }
+};
+
+/** Everything observable about one retired instruction. */
+struct Retired
+{
+    ThreadId tid = 0;
+    Addr pc = 0;
+    isa::Instruction instr;
+
+    /** Effective address for loads/stores (0 otherwise). */
+    Addr mem_addr = 0;
+    /** Access width in bytes; 0 for non-memory instructions. */
+    unsigned mem_bytes = 0;
+    /** True when the memory access is a write. */
+    bool mem_is_write = false;
+
+    /** True for taken control transfers. */
+    bool ctrl_taken = false;
+    /** Target pc for taken control transfers. */
+    Addr ctrl_target = 0;
+
+    /** True when this instruction requests OS service. */
+    bool is_syscall = false;
+    /** True when this instruction halts the thread. */
+    bool is_halt = false;
+};
+
+/**
+ * Execute one instruction.
+ *
+ * @param thread Architectural state to update (pc is advanced).
+ * @param memory Functional memory image.
+ * @param instr The decoded instruction at thread.pc.
+ * @return Retirement observation for the instruction.
+ */
+Retired execute(Thread& thread, mem::Memory& memory,
+                const isa::Instruction& instr);
+
+} // namespace lba::sim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * First-fit heap allocator implementation.
+ */
+
+#include "sim/heap.h"
+
+#include "common/assert.h"
+
+namespace lba::sim {
+
+Heap::Heap(Addr base, std::uint64_t size)
+    : base_(base), size_(size)
+{
+    LBA_ASSERT(base % kAlignment == 0, "heap base must be aligned");
+    LBA_ASSERT(size >= kAlignment, "heap too small");
+    free_[base_] = size_;
+}
+
+Addr
+Heap::alloc(std::uint64_t size)
+{
+    if (size == 0) size = kAlignment;
+    size = (size + kAlignment - 1) & ~(kAlignment - 1);
+
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+        if (it->second < size) continue;
+        Addr addr = it->first;
+        std::uint64_t remaining = it->second - size;
+        free_.erase(it);
+        if (remaining > 0) {
+            free_[addr + size] = remaining;
+        }
+        allocated_[addr] = size;
+        live_bytes_ += size;
+        return addr;
+    }
+    return 0;
+}
+
+bool
+Heap::free(Addr addr)
+{
+    auto it = allocated_.find(addr);
+    if (it == allocated_.end()) return false;
+    std::uint64_t size = it->second;
+    allocated_.erase(it);
+    live_bytes_ -= size;
+
+    // Insert into the free map, coalescing with neighbours.
+    auto [ins, ok] = free_.emplace(addr, size);
+    LBA_ASSERT(ok, "freed region overlaps free list");
+    // Coalesce with successor.
+    auto next = std::next(ins);
+    if (next != free_.end() && ins->first + ins->second == next->first) {
+        ins->second += next->second;
+        free_.erase(next);
+    }
+    // Coalesce with predecessor.
+    if (ins != free_.begin()) {
+        auto prev = std::prev(ins);
+        if (prev->first + prev->second == ins->first) {
+            prev->second += ins->second;
+            free_.erase(ins);
+        }
+    }
+    return true;
+}
+
+bool
+Heap::isLiveBlock(Addr addr) const
+{
+    return allocated_.count(addr) != 0;
+}
+
+std::uint64_t
+Heap::blockSize(Addr addr) const
+{
+    auto it = allocated_.find(addr);
+    return it == allocated_.end() ? 0 : it->second;
+}
+
+} // namespace lba::sim

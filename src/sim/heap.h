@@ -1,0 +1,71 @@
+#pragma once
+/**
+ * @file
+ * Simulated heap allocator backing the SYS_ALLOC / SYS_FREE syscalls.
+ *
+ * A first-fit free-list allocator over a fixed heap region. Block metadata
+ * is kept in host structures (not in simulated memory) so that workload
+ * bugs (use-after-free, overflow) cannot corrupt the allocator itself;
+ * what AddrCheck sees is exactly the alloc/free event stream plus the
+ * program's accesses.
+ */
+
+#include <cstdint>
+#include <map>
+
+#include "common/types.h"
+
+namespace lba::sim {
+
+/** First-fit free-list allocator over [base, base + size). */
+class Heap
+{
+  public:
+    /** Allocation alignment in bytes. */
+    static constexpr std::uint64_t kAlignment = 16;
+
+    /**
+     * @param base First byte of the heap region (must be aligned).
+     * @param size Region size in bytes.
+     */
+    Heap(Addr base, std::uint64_t size);
+
+    /**
+     * Allocate @p size bytes (rounded up to the alignment).
+     * @return Block base address, or 0 when the heap is exhausted.
+     */
+    Addr alloc(std::uint64_t size);
+
+    /**
+     * Free the block starting at @p addr.
+     * @return False when @p addr is not the base of a live block
+     *         (double free / wild free).
+     */
+    bool free(Addr addr);
+
+    /** True when @p addr is the base of a currently live block. */
+    bool isLiveBlock(Addr addr) const;
+
+    /** Size of the live block at @p addr (0 when not a live base). */
+    std::uint64_t blockSize(Addr addr) const;
+
+    /** Number of live blocks. */
+    std::size_t liveBlocks() const { return allocated_.size(); }
+
+    /** Total bytes currently allocated. */
+    std::uint64_t liveBytes() const { return live_bytes_; }
+
+    Addr base() const { return base_; }
+    std::uint64_t size() const { return size_; }
+
+  private:
+    Addr base_;
+    std::uint64_t size_;
+    /** Free regions: base -> length, non-adjacent (coalesced on free). */
+    std::map<Addr, std::uint64_t> free_;
+    /** Live blocks: base -> length. */
+    std::map<Addr, std::uint64_t> allocated_;
+    std::uint64_t live_bytes_ = 0;
+};
+
+} // namespace lba::sim

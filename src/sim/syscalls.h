@@ -1,0 +1,66 @@
+#pragma once
+/**
+ * @file
+ * Syscall numbers and OS-level event descriptions for the simulated
+ * process.
+ *
+ * The paper's lifeguards observe program events above the raw instruction
+ * stream: heap allocation (AddrCheck), untrusted input (TaintCheck), and
+ * lock acquire/release (LockSet). On a real system these come from
+ * instrumented libc/pthread wrappers; in this reproduction they are
+ * syscalls of the simulated OS, and each produces an OS event alongside
+ * the retiring syscall instruction.
+ *
+ * Calling convention: syscall number is the instruction immediate;
+ * arguments in r1..r4; result in r1.
+ */
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace lba::sim {
+
+/** Syscall numbers (instruction immediates). */
+enum class Sys : std::uint32_t {
+    kExit = 0,  ///< terminate calling thread
+    kAlloc = 1, ///< r1 = size               -> r1 = ptr (0 on failure)
+    kFree = 2,  ///< r1 = ptr                -> r1 = 1 ok / 0 bad free
+    kRead = 3,  ///< r1 = buf, r2 = len      -> r1 = bytes read (untrusted!)
+    kWrite = 4, ///< r1 = buf, r2 = len      -> r1 = bytes written
+    kLock = 5,  ///< r1 = lock address       (blocks until acquired)
+    kUnlock = 6,///< r1 = lock address       -> r1 = 1 ok / 0 not owner
+    kSpawn = 7, ///< r1 = entry pc, r2 = arg -> r1 = child tid
+    kJoin = 8,  ///< r1 = tid                (blocks until tid exits)
+    kYield = 9, ///< give up the quantum
+
+    kNumSyscalls
+};
+
+/** Kinds of OS-level events visible to monitoring platforms. */
+enum class OsEventType : std::uint8_t {
+    kAlloc = 0,   ///< addr = block base, size = bytes (size 0 => failed)
+    kFree,        ///< addr = block base, size = 1 if valid free else 0
+    kInput,       ///< addr = buffer, size = bytes read (taint source)
+    kOutput,      ///< addr = buffer, size = bytes written
+    kLock,        ///< addr = lock address (acquired)
+    kUnlock,      ///< addr = lock address (released; size 0 => bad unlock)
+    kThreadSpawn, ///< addr = child tid, size = entry pc
+    kThreadExit,  ///< thread terminated
+
+    kNumOsEventTypes
+};
+
+/** One OS-level event, attributed to the thread that caused it. */
+struct OsEvent
+{
+    OsEventType type = OsEventType::kAlloc;
+    ThreadId tid = 0;
+    Addr addr = 0;
+    std::uint64_t size = 0;
+};
+
+/** Printable name of an OS event type. */
+const char* osEventName(OsEventType type);
+
+} // namespace lba::sim

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Table formatting implementation.
+ */
+
+#include "stats/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace lba::stats {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    LBA_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    LBA_ASSERT(cells.size() == headers_.size(),
+               "row width must match header width");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<std::size_t> widths(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (row[c].size() > widths[c]) widths[c] = row[c].size();
+        }
+    }
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size()) {
+                out << std::string(widths[c] - row[c].size() + 2, ' ');
+            }
+        }
+        out << '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    }
+    out << std::string(total, '-') << '\n';
+    for (const auto& row : rows_) {
+        emit_row(row);
+    }
+    return out.str();
+}
+
+namespace {
+
+/** Quote a CSV cell if it contains a comma, quote, or newline. */
+std::string
+csvQuote(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+        if (ch == '"') quoted += "\"\"";
+        else quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << csvQuote(row[c]);
+            if (c + 1 < row.size()) out << ',';
+        }
+        out << '\n';
+    };
+    emit_row(headers_);
+    for (const auto& row : rows_) {
+        emit_row(row);
+    }
+    return out.str();
+}
+
+std::string
+formatDouble(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+formatSlowdown(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1fx", value);
+    return buf;
+}
+
+} // namespace lba::stats

@@ -1,0 +1,52 @@
+#pragma once
+/**
+ * @file
+ * Plain-text and CSV table formatting used by the benchmark harnesses to
+ * print paper-style result tables.
+ */
+
+#include <string>
+#include <vector>
+
+namespace lba::stats {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"benchmark", "valgrind", "lba"});
+ *   t.addRow({"gzip", "24.1", "3.2"});
+ *   std::cout << t.toString();
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t numRows() const { return rows_.size(); }
+
+    /** Render as an aligned monospace table. */
+    std::string toString() const;
+
+    /** Render as CSV (RFC-4180-style quoting for commas/quotes). */
+    std::string toCsv() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals fractional digits. */
+std::string formatDouble(double value, int decimals = 2);
+
+/** Format a ratio as e.g. "12.3x". */
+std::string formatSlowdown(double value);
+
+} // namespace lba::stats

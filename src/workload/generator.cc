@@ -1,0 +1,753 @@
+/**
+ * @file
+ * Synthetic benchmark generator implementation.
+ *
+ * All randomness is a seeded xorshift64 stream, so generation is fully
+ * deterministic per profile: every platform run sees the same program.
+ */
+
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "asm/program_builder.h"
+#include "common/assert.h"
+#include "sim/process.h"
+#include "sim/syscalls.h"
+
+namespace lba::workload {
+
+using assembler::Label;
+using assembler::ProgramBuilder;
+using isa::Opcode;
+
+namespace {
+
+/** Deterministic RNG for program generation. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed ? seed : 1) {}
+
+    std::uint64_t
+    next()
+    {
+        state_ ^= state_ << 13;
+        state_ ^= state_ >> 7;
+        state_ ^= state_ << 17;
+        return state_;
+    }
+
+    /** Uniform value in [0, bound). */
+    std::uint64_t bounded(std::uint64_t bound)
+    {
+        return bound ? next() % bound : 0;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) /
+               static_cast<double>(1ull << 53);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+// Register roles in generated code.
+constexpr RegIndex kRegTable = 9;  // pointer-table base
+constexpr RegIndex kRegIter = 10;  // loop down-counter
+constexpr RegIndex kRegChase = 11; // chase pointer
+constexpr RegIndex kRegBlock = 8;  // current array-block pointer
+constexpr RegIndex kScratchLo = 12, kScratchHi = 19;
+constexpr RegIndex kRegInput = 21; // input-buffer pointer
+constexpr RegIndex kRegShared = 22;
+constexpr RegIndex kRegLock = 23;
+constexpr RegIndex kRegTick = 24;  // up-counter for periodic triggers
+constexpr RegIndex kRegTrig = 25;  // trigger scratch
+constexpr RegIndex kRegChurn = 26; // churn-block pointer
+
+// Pointer-table slots (offsets in the globals table, 8 bytes each).
+constexpr std::int32_t kMaxBlocksPerThread = 24;
+constexpr std::int32_t kMainBlockSlot = 0;
+constexpr std::int32_t kWorkerBlockSlot = 32;
+constexpr std::int32_t kWorkerInputSlot = 59;
+constexpr std::int32_t kInputSlot = 60;
+constexpr std::int32_t kSharedSlot = 61;
+constexpr std::int32_t kMainRingSlot = 62;
+constexpr std::int32_t kWorkerRingSlot = 63;
+
+constexpr std::uint64_t kInputBufBytes = 4096;
+constexpr std::uint64_t kInputChunk = 64;
+constexpr Addr kLockAddr = sim::kGlobalBase + 0x900;
+
+/** Static layout derived from the profile. */
+struct Layout
+{
+    unsigned num_blocks = 4;
+    std::uint64_t array_bytes = 32 * 1024;
+    std::uint64_t ring_bytes = 64 * 1024;
+    std::uint64_t ring_nodes = 1024;
+    std::uint64_t shared_bytes = 0;
+    /**
+     * Hot shared-region offsets (counters, queue heads): the SAME set
+     * for every thread, so the Eraser state machine actually observes
+     * sharing on them.
+     */
+    std::vector<std::int32_t> shared_hot;
+};
+
+/** Per-iteration emission plan (exact dynamic counts per iteration). */
+struct Plan
+{
+    unsigned mem_slots = 50;    // private memory slots per body
+    unsigned chase_slots = 5;   // of mem_slots, via the chase ring
+    unsigned alu_slots = 30;
+    unsigned branch_slots = 14;
+    unsigned call_slots = 2;    // each costs 5 dynamic instructions
+    std::uint64_t churn_period = 0;  // 0 = disabled
+    std::uint64_t input_period = 0;
+    std::uint64_t lock_period = 0;
+    unsigned shared_per_burst = 0;
+    double instrs_per_iter = 0.0;
+    double mem_per_iter = 0.0;
+    std::uint64_t iterations = 1;
+};
+
+constexpr unsigned kLeafCount = 4;
+constexpr unsigned kLeafBodyInstrs = 3; // + ret
+constexpr double kCallDynInstrs = 1.0 + kLeafBodyInstrs + 1.0;
+constexpr unsigned kChurnInstrs = 6;  // 1 mem, 2 syscalls
+constexpr unsigned kInputInstrs = 3;  // 1 mem
+constexpr unsigned kTriggerInstrs = 3;
+constexpr unsigned kLoopOverhead = 3; // tick++, iter--, bne
+
+Layout
+planLayout(const Profile& p, std::uint64_t target)
+{
+    Layout l;
+    std::uint64_t ws = static_cast<std::uint64_t>(p.working_set_kb) * 1024;
+    // Scale the data footprint with the run length, as benchmark suites
+    // do with test/train/ref inputs: a short run cannot amortize the
+    // initialization (and allocation-marking) of a multi-MB working
+    // set. Full-length runs (the profile's target_instructions) keep
+    // the profile's working set.
+    ws = std::min<std::uint64_t>(
+        ws, std::max<std::uint64_t>(64 * 1024, 4 * target));
+    // Per-thread working set.
+    if (p.threads > 1) ws /= 2;
+
+    // Ring size tracks how central pointer chasing is to the benchmark:
+    // mcf-style codes traverse multi-MB structures; light chasers walk
+    // short lists with decent cache residence.
+    std::uint64_t ring;
+    if (p.chase_fraction >= 0.3) {
+        ring = ws / 2;
+    } else if (p.chase_fraction >= 0.1) {
+        ring = 32 * 1024;
+    } else {
+        ring = 8 * 1024;
+    }
+    ring = std::max<std::uint64_t>(ring, 8 * 1024);
+    // Building the ring costs ~12 instructions per node; when the
+    // requested run is short (tests, scaled benches), cap the ring so
+    // the build prologue stays under ~25% of the budget. Full-scale
+    // runs keep the profile's working set.
+    std::uint64_t max_nodes = std::max<std::uint64_t>(
+        128, target / (48 * p.threads));
+    if (ring / 64 > max_nodes) ring = max_nodes * 64;
+    l.ring_bytes = ring & ~63ull;
+    l.ring_nodes = l.ring_bytes / 64;
+
+    std::uint64_t arrays = ws > ring ? ws - ring : 32 * 1024;
+    l.num_blocks = static_cast<unsigned>(std::clamp<std::uint64_t>(
+        arrays / (32 * 1024), 2, kMaxBlocksPerThread));
+    l.array_bytes = std::max<std::uint64_t>(
+        (arrays / l.num_blocks) & ~63ull, 1024);
+
+    if (p.threads > 1) {
+        // Shared region: half of one thread's (scaled) working set.
+        l.shared_bytes =
+            std::max<std::uint64_t>((ws / 2) & ~63ull, 4096);
+        Rng hot_rng(p.seed * 0x5851f42d4c957f2dull + 11);
+        for (int i = 0; i < 16; ++i) {
+            l.shared_hot.push_back(static_cast<std::int32_t>(
+                hot_rng.bounded(l.shared_bytes - 8) & ~7ull));
+        }
+    }
+    return l;
+}
+
+Plan
+planBody(const Profile& p, const Layout& layout, std::uint64_t target)
+{
+    Plan plan;
+    bool mt = p.threads > 1;
+
+    double T = 150.0; // initial estimate, refined by fixed-point
+    for (int round = 0; round < 6; ++round) {
+        // Periodic features.
+        double churn_per_iter = p.allocs_per_kinstr * T / 1000.0;
+        plan.churn_period =
+            p.allocs_per_kinstr > 0
+                ? std::max<std::uint64_t>(
+                      1, std::llround(1.0 / std::max(1e-9,
+                                                     churn_per_iter)))
+                : 0;
+        double reads_per_iter =
+            p.input_bytes_per_kinstr * T / 1000.0 /
+            static_cast<double>(kInputChunk);
+        plan.input_period =
+            p.input_bytes_per_kinstr > 0
+                ? std::max<std::uint64_t>(
+                      1, std::llround(1.0 / std::max(1e-9,
+                                                     reads_per_iter)))
+                : 0;
+        double locks_per_iter = p.locks_per_kinstr * T / 1000.0;
+        plan.lock_period =
+            mt && p.locks_per_kinstr > 0
+                ? std::max<std::uint64_t>(
+                      1, std::llround(1.0 / std::max(1e-9,
+                                                     locks_per_iter)))
+                : 0;
+
+        double mem_total = p.mem_fraction * T;
+        double shared_rate = 0.0;
+        plan.shared_per_burst = 0;
+        if (plan.lock_period > 0) {
+            shared_rate = p.shared_fraction * mem_total;
+            plan.shared_per_burst = static_cast<unsigned>(std::llround(
+                shared_rate * static_cast<double>(plan.lock_period)));
+            shared_rate = static_cast<double>(plan.shared_per_burst) /
+                          static_cast<double>(plan.lock_period);
+        }
+
+        double periodic_mem =
+            (plan.churn_period ? 1.0 / plan.churn_period : 0.0) +
+            (plan.input_period ? 1.0 / plan.input_period : 0.0) +
+            shared_rate;
+        double body_mem = std::max(4.0, mem_total - periodic_mem);
+        plan.mem_slots = static_cast<unsigned>(std::llround(body_mem));
+        plan.chase_slots = static_cast<unsigned>(std::llround(
+            std::min<double>(plan.mem_slots,
+                             p.chase_fraction * mem_total)));
+
+        plan.branch_slots = static_cast<unsigned>(
+            std::llround(p.branch_fraction * T));
+        plan.call_slots = static_cast<unsigned>(
+            std::llround(p.call_fraction * T / kCallDynInstrs));
+        // ALU fills the remainder of a ~96-slot body.
+        int alu = 96 - static_cast<int>(plan.mem_slots) -
+                  static_cast<int>(plan.branch_slots) -
+                  static_cast<int>(plan.call_slots);
+        plan.alu_slots = static_cast<unsigned>(std::max(6, alu));
+
+        double overhead = kLoopOverhead +
+                          (plan.churn_period ? kTriggerInstrs : 0) +
+                          (plan.input_period ? kTriggerInstrs : 0) +
+                          (plan.lock_period ? kTriggerInstrs : 0);
+        double periodic_instrs =
+            (plan.churn_period
+                 ? static_cast<double>(kChurnInstrs) / plan.churn_period
+                 : 0.0) +
+            (plan.input_period
+                 ? static_cast<double>(kInputInstrs) / plan.input_period
+                 : 0.0) +
+            (plan.lock_period
+                 ? (4.0 + plan.shared_per_burst) / plan.lock_period
+                 : 0.0);
+
+        T = plan.mem_slots + plan.alu_slots + plan.branch_slots +
+            plan.call_slots * kCallDynInstrs + overhead + periodic_instrs;
+        plan.instrs_per_iter = T;
+        plan.mem_per_iter = body_mem + periodic_mem;
+    }
+
+    // Prologue estimate: allocations + ring build (12 instrs/node).
+    double prologue = layout.num_blocks * 3.0 + 30.0 +
+                      static_cast<double>(layout.ring_nodes) * 12.0;
+    double per_thread_budget =
+        std::max(1.0, (static_cast<double>(target) -
+                       prologue * p.threads) /
+                          p.threads);
+    plan.iterations = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(per_thread_budget /
+                                      plan.instrs_per_iter));
+    return plan;
+}
+
+/** Emits one thread's code (prologue, loop, epilogue pieces). */
+class ThreadEmitter
+{
+  public:
+    ThreadEmitter(ProgramBuilder& b, const Profile& p, const Layout& l,
+                  const Plan& plan, const BugInjection& bugs, Rng& rng,
+                  bool is_worker, const std::vector<Label>& leaves)
+        : b_(b), p_(p), l_(l), plan_(plan), bugs_(bugs), rng_(rng),
+          worker_(is_worker), leaves_(leaves)
+    {
+        block_slot_ = worker_ ? kWorkerBlockSlot : kMainBlockSlot;
+        ring_slot_ = worker_ ? kWorkerRingSlot : kMainRingSlot;
+        input_slot_ = worker_ ? kWorkerInputSlot : kInputSlot;
+    }
+
+    /** Allocate blocks/ring/input, build the ring, seed registers. */
+    void
+    emitPrologue()
+    {
+        b_.li64(kRegTable, sim::kGlobalBase);
+
+        // Array blocks.
+        for (unsigned i = 0; i < l_.num_blocks; ++i) {
+            emitAlloc(l_.array_bytes, (block_slot_ + (int)i) * 8);
+        }
+        // Input buffer + chase ring.
+        emitAlloc(kInputBufBytes, input_slot_ * 8);
+        emitAlloc(l_.ring_bytes, ring_slot_ * 8);
+
+        emitRingBuild();
+
+        // Seed scratch registers with distinct values.
+        for (RegIndex r = kScratchLo; r <= kScratchHi; ++r) {
+            b_.li(r, static_cast<std::int32_t>(rng_.bounded(1 << 20) + r));
+        }
+        b_.load(Opcode::kLd, kRegInput, kRegTable, input_slot_ * 8);
+        b_.load(Opcode::kLd, kRegChase, kRegTable, ring_slot_ * 8);
+        b_.load(Opcode::kLd, kRegBlock, kRegTable, block_slot_ * 8);
+        if (p_.threads > 1) {
+            b_.load(Opcode::kLd, kRegShared, kRegTable, kSharedSlot * 8);
+            b_.li64(kRegLock, kLockAddr);
+        }
+
+        // Initial input chunk so taint exists from the start.
+        b_.mov(1, kRegInput);
+        b_.li(2, static_cast<std::int32_t>(kInputChunk));
+        b_.syscall(static_cast<std::int32_t>(sim::Sys::kRead));
+    }
+
+    /** The main monitored loop. */
+    void
+    emitLoop()
+    {
+        b_.li(kRegTick, 0);
+        b_.li64(kRegIter, plan_.iterations);
+        Label top = b_.newLabel();
+        b_.bind(top);
+
+        emitBodySlots();
+        if (plan_.churn_period) emitChurn();
+        if (plan_.input_period) emitInput();
+        if (plan_.lock_period) emitBurst();
+
+        b_.alui(Opcode::kAddi, kRegTick, kRegTick, 1);
+        b_.alui(Opcode::kAddi, kRegIter, kRegIter, -1);
+        b_.branch(Opcode::kBne, kRegIter, isa::kRegZero, top);
+    }
+
+    /** Free everything this thread allocated (honouring bug knobs). */
+    void
+    emitEpilogue()
+    {
+        if (!worker_ && bugs_.tainted_jump) {
+            // The "exploit": treat untrusted input bytes as a code
+            // pointer and jump through them.
+            b_.load(Opcode::kLd, 12, kRegInput, 0);
+            b_.jr(12);
+        }
+        if (!worker_ && bugs_.use_after_free) {
+            emitFree(block_slot_ * 8);
+            b_.load(Opcode::kLd, 13, kRegTable, block_slot_ * 8);
+            b_.load(Opcode::kLd, 14, 13, 8); // read of freed memory
+        }
+        for (unsigned i = 0; i < l_.num_blocks; ++i) {
+            if (!worker_ && bugs_.use_after_free && i == 0) continue;
+            if (!worker_ && bugs_.leak && i == 1) continue;
+            emitFree((block_slot_ + (int)i) * 8);
+        }
+        if (!worker_ && bugs_.double_free) {
+            // Second free of block 2 (already freed in the loop above).
+            emitFree((block_slot_ + 2) * 8);
+        }
+        emitFree(input_slot_ * 8);
+        emitFree(ring_slot_ * 8);
+    }
+
+  private:
+    void
+    emitAlloc(std::uint64_t bytes, std::int32_t table_off)
+    {
+        b_.li(1, static_cast<std::int32_t>(bytes));
+        b_.syscall(static_cast<std::int32_t>(sim::Sys::kAlloc));
+        b_.store(Opcode::kSd, 1, kRegTable, table_off);
+    }
+
+    void
+    emitFree(std::int32_t table_off)
+    {
+        b_.load(Opcode::kLd, 1, kRegTable, table_off);
+        b_.syscall(static_cast<std::int32_t>(sim::Sys::kFree));
+    }
+
+    /**
+     * Build the chase ring: node j links to node (j + P) mod N, with P
+     * prime and co-prime to N, so the walk visits every node in a
+     * single cycle with a large non-sequential stride (cache-hostile
+     * when the ring exceeds the cache, like mcf's network traversal).
+     * The build itself iterates j sequentially, so its stores are
+     * cache-friendly — initialization is not the interesting phase.
+     */
+    void
+    emitRingBuild()
+    {
+        const std::int32_t step = static_cast<std::int32_t>(
+            7919 % l_.ring_nodes ? 7919 % l_.ring_nodes : 1);
+        // r13 = ring base, r15 = N, r12 = j, r14 = cur, r16 = next idx
+        b_.load(Opcode::kLd, 13, kRegTable, ring_slot_ * 8);
+        b_.li(15, static_cast<std::int32_t>(l_.ring_nodes));
+        b_.li(12, 0);
+        Label top = b_.newLabel();
+        b_.bind(top);
+        // cur = base + j * 64
+        b_.alui(Opcode::kShli, 14, 12, 6);
+        b_.alu(Opcode::kAdd, 14, 14, 13);
+        // next = base + ((j + P) mod N) * 64
+        b_.alui(Opcode::kAddi, 16, 12, step);
+        b_.alu(Opcode::kRemu, 16, 16, 15);
+        b_.alui(Opcode::kShli, 16, 16, 6);
+        b_.alu(Opcode::kAdd, 16, 16, 13);
+        b_.store(Opcode::kSd, 16, 14, 0);
+        b_.alui(Opcode::kAddi, 12, 12, 1);
+        b_.branch(Opcode::kBne, 12, 15, top);
+    }
+
+    RegIndex
+    scratch()
+    {
+        return static_cast<RegIndex>(
+            kScratchLo + rng_.bounded(kScratchHi - kScratchLo + 1));
+    }
+
+    /**
+     * Pick an array-access offset. Real programs have strong temporal
+     * locality (L1 hit rates in the 90s); model it with a small per-block
+     * hot set of offsets used for ~85% of accesses, the rest spread over
+     * the whole block (the cold / capacity-miss tail that the working-set
+     * size controls).
+     */
+    std::int32_t
+    arrayOffset()
+    {
+        if (rng_.uniform() < 0.97) {
+            auto& hot = hot_offsets_[current_block_];
+            if (hot.size() < 8) {
+                hot.push_back(static_cast<std::int32_t>(
+                    rng_.bounded(l_.array_bytes - 16) & ~7ull));
+            }
+            return hot[rng_.bounded(hot.size())];
+        }
+        // Cold tail: a sequential scan cursor per block (streaming
+        // passes over the data, like gzip's window or gs's page),
+        // whose footprint is what the working-set knob controls.
+        std::int32_t off = cold_cursor_[current_block_];
+        cold_cursor_[current_block_] =
+            (off + 8) % static_cast<std::int32_t>(l_.array_bytes - 16);
+        return off;
+    }
+
+    void
+    emitMemSlot(bool chase)
+    {
+        bool is_load = rng_.uniform() < p_.load_fraction;
+        if (chase) {
+            if (is_load) {
+                b_.load(Opcode::kLd, kRegChase, kRegChase, 0);
+            } else {
+                b_.store(Opcode::kSd, scratch(), kRegChase, 8);
+            }
+            return;
+        }
+        if (rng_.uniform() < p_.stack_fraction) {
+            // Locals/spills in the top 2 KiB of the thread's stack —
+            // hot in the L1, outside the heap (cheap for AddrCheck,
+            // droppable by the address-range filter).
+            std::int32_t off = -static_cast<std::int32_t>(
+                (rng_.bounded(2048 - 16) & ~7ull) + 8);
+            if (is_load) {
+                b_.load(Opcode::kLd, scratch(), isa::kRegSp, off);
+            } else {
+                b_.store(Opcode::kSd, scratch(), isa::kRegSp, off);
+            }
+            return;
+        }
+        ++mem_count_;
+        if (mem_count_ % 16 == 0) {
+            // Rotate to another array block (a table load: a memory ref).
+            current_block_ =
+                static_cast<unsigned>(rng_.bounded(l_.num_blocks));
+            std::int32_t slot =
+                block_slot_ + static_cast<std::int32_t>(current_block_);
+            b_.load(Opcode::kLd, kRegBlock, kRegTable, slot * 8);
+            return;
+        }
+        if (mem_count_ % 16 == 5) {
+            // Touch the untrusted-input buffer (propagates taint).
+            std::int32_t off = static_cast<std::int32_t>(
+                rng_.bounded(kInputBufBytes - 8) & ~7ull);
+            b_.load(Opcode::kLd, scratch(), kRegInput, off);
+            return;
+        }
+        std::int32_t off = arrayOffset();
+        if (is_load) {
+            b_.load(Opcode::kLd, scratch(), kRegBlock, off);
+        } else {
+            b_.store(Opcode::kSd, scratch(), kRegBlock, off);
+        }
+    }
+
+    void
+    emitAluSlot()
+    {
+        static constexpr Opcode kRegOps[] = {
+            Opcode::kAdd, Opcode::kSub, Opcode::kMul, Opcode::kAnd,
+            Opcode::kOr,  Opcode::kXor, Opcode::kSlt,
+        };
+        static constexpr Opcode kImmOps[] = {
+            Opcode::kAddi, Opcode::kXori, Opcode::kShli, Opcode::kShri,
+        };
+        if (rng_.uniform() < 0.7) {
+            Opcode op = kRegOps[rng_.bounded(sizeof(kRegOps) /
+                                             sizeof(kRegOps[0]))];
+            b_.alu(op, scratch(), scratch(), scratch());
+        } else {
+            Opcode op = kImmOps[rng_.bounded(sizeof(kImmOps) /
+                                             sizeof(kImmOps[0]))];
+            std::int32_t imm = op == Opcode::kShli || op == Opcode::kShri
+                                   ? static_cast<std::int32_t>(
+                                         rng_.bounded(15) + 1)
+                                   : static_cast<std::int32_t>(
+                                         rng_.bounded(1024));
+            b_.alui(op, scratch(), scratch(), imm);
+        }
+    }
+
+    void
+    emitBranchSlot()
+    {
+        // Data-dependent branch to the immediately following label:
+        // taken-ness varies with scratch values but no work is skipped,
+        // keeping dynamic instruction counts exact.
+        static constexpr Opcode kBrOps[] = {Opcode::kBeq, Opcode::kBne,
+                                            Opcode::kBlt};
+        Opcode op =
+            kBrOps[rng_.bounded(sizeof(kBrOps) / sizeof(kBrOps[0]))];
+        Label next = b_.newLabel();
+        b_.branch(op, scratch(), scratch(), next);
+        b_.bind(next);
+    }
+
+    void
+    emitBodySlots()
+    {
+        enum class Kind { kMem, kChase, kAlu, kBranch, kCall };
+        std::vector<Kind> slots;
+        unsigned plain_mem =
+            plan_.mem_slots > plan_.chase_slots
+                ? plan_.mem_slots - plan_.chase_slots
+                : 0;
+        slots.insert(slots.end(), plain_mem, Kind::kMem);
+        slots.insert(slots.end(), plan_.chase_slots, Kind::kChase);
+        slots.insert(slots.end(), plan_.alu_slots, Kind::kAlu);
+        slots.insert(slots.end(), plan_.branch_slots, Kind::kBranch);
+        slots.insert(slots.end(), plan_.call_slots, Kind::kCall);
+        // Deterministic Fisher-Yates shuffle.
+        for (std::size_t i = slots.size(); i > 1; --i) {
+            std::swap(slots[i - 1], slots[rng_.bounded(i)]);
+        }
+        for (Kind kind : slots) {
+            switch (kind) {
+              case Kind::kMem: emitMemSlot(false); break;
+              case Kind::kChase: emitMemSlot(true); break;
+              case Kind::kAlu: emitAluSlot(); break;
+              case Kind::kBranch: emitBranchSlot(); break;
+              case Kind::kCall:
+                b_.call(leaves_[rng_.bounded(leaves_.size())]);
+                break;
+            }
+        }
+    }
+
+    /** Guard: execute the section only when tick % period == 0. */
+    Label
+    emitTrigger(std::uint64_t period)
+    {
+        b_.li(kRegTrig, static_cast<std::int32_t>(period));
+        b_.alu(Opcode::kRemu, kRegTrig, kRegTick, kRegTrig);
+        Label skip = b_.newLabel();
+        b_.branch(Opcode::kBne, kRegTrig, isa::kRegZero, skip);
+        return skip;
+    }
+
+    void
+    emitChurn()
+    {
+        Label skip = emitTrigger(plan_.churn_period);
+        b_.li(1, 64);
+        b_.syscall(static_cast<std::int32_t>(sim::Sys::kAlloc));
+        b_.mov(kRegChurn, 1);
+        b_.store(Opcode::kSd, 12, kRegChurn, 0);
+        b_.mov(1, kRegChurn);
+        b_.syscall(static_cast<std::int32_t>(sim::Sys::kFree));
+        b_.bind(skip);
+    }
+
+    void
+    emitInput()
+    {
+        Label skip = emitTrigger(plan_.input_period);
+        b_.mov(1, kRegInput);
+        b_.li(2, static_cast<std::int32_t>(kInputChunk));
+        b_.syscall(static_cast<std::int32_t>(sim::Sys::kRead));
+        b_.bind(skip);
+    }
+
+    void
+    emitBurst()
+    {
+        Label skip = emitTrigger(plan_.lock_period);
+        b_.mov(1, kRegLock);
+        b_.syscall(static_cast<std::int32_t>(sim::Sys::kLock));
+        for (unsigned i = 0; i < plan_.shared_per_burst; ++i) {
+            std::int32_t off;
+            if (rng_.uniform() < 0.75 && !l_.shared_hot.empty()) {
+                // Hot shared words, common across threads.
+                off = l_.shared_hot[rng_.bounded(l_.shared_hot.size())];
+            } else {
+                off = static_cast<std::int32_t>(
+                    rng_.bounded(l_.shared_bytes - 8) & ~7ull);
+            }
+            if (rng_.uniform() < p_.load_fraction) {
+                b_.load(Opcode::kLd, scratch(), kRegShared, off);
+            } else {
+                b_.store(Opcode::kSd, scratch(), kRegShared, off);
+            }
+        }
+        b_.mov(1, kRegLock);
+        b_.syscall(static_cast<std::int32_t>(sim::Sys::kUnlock));
+        if (bugs_.race) {
+            // Unlocked write to the shared region: the injected race.
+            b_.store(Opcode::kSd, 12, kRegShared, 0);
+        }
+        b_.bind(skip);
+    }
+
+    ProgramBuilder& b_;
+    const Profile& p_;
+    const Layout& l_;
+    const Plan& plan_;
+    const BugInjection& bugs_;
+    Rng& rng_;
+    bool worker_;
+    const std::vector<Label>& leaves_;
+    std::int32_t block_slot_ = 0;
+    std::int32_t ring_slot_ = 0;
+    std::int32_t input_slot_ = 0;
+    std::uint64_t mem_count_ = 0;
+    unsigned current_block_ = 0;
+    /** Per-block hot offset sets (see arrayOffset()). */
+    std::map<unsigned, std::vector<std::int32_t>> hot_offsets_;
+    /** Per-block sequential cold-scan cursors. */
+    std::map<unsigned, std::int32_t> cold_cursor_;
+};
+
+} // namespace
+
+GeneratedProgram
+generate(const Profile& profile, const BugInjection& bugs,
+         std::uint64_t instructions)
+{
+    std::uint64_t target =
+        instructions ? instructions : profile.target_instructions;
+    Layout layout = planLayout(profile, target);
+    Plan plan = planBody(profile, layout, target);
+
+    Rng rng(profile.seed * 0x9e3779b97f4a7c15ull + 1);
+    ProgramBuilder b;
+
+    std::vector<Label> leaves;
+    for (unsigned i = 0; i < kLeafCount; ++i) {
+        leaves.push_back(b.newLabel());
+    }
+
+    bool mt = profile.threads > 1;
+    Label worker_entry = b.newLabel();
+
+    ThreadEmitter main_emitter(b, profile, layout, plan, bugs, rng,
+                               /*is_worker=*/false, leaves);
+    main_emitter.emitPrologue();
+
+    if (mt) {
+        // Allocate the shared region, publish it, then start the worker.
+        b.li(1, static_cast<std::int32_t>(layout.shared_bytes));
+        b.syscall(static_cast<std::int32_t>(sim::Sys::kAlloc));
+        b.store(Opcode::kSd, 1, kRegTable, kSharedSlot * 8);
+        b.load(Opcode::kLd, kRegShared, kRegTable, kSharedSlot * 8);
+        b.liLabel(1, worker_entry);
+        b.li(2, 0);
+        b.syscall(static_cast<std::int32_t>(sim::Sys::kSpawn));
+    }
+
+    main_emitter.emitLoop();
+
+    if (mt) {
+        b.li(1, 1); // worker tid
+        b.syscall(static_cast<std::int32_t>(sim::Sys::kJoin));
+    }
+    main_emitter.emitEpilogue();
+    if (mt) {
+        b.load(Opcode::kLd, 1, kRegTable, kSharedSlot * 8);
+        b.syscall(static_cast<std::int32_t>(sim::Sys::kFree));
+    }
+    b.halt();
+
+    if (mt) {
+        Rng worker_rng(profile.seed * 0xbf58476d1ce4e5b9ull + 7);
+        ThreadEmitter worker_emitter(b, profile, layout, plan, bugs,
+                                     worker_rng, /*is_worker=*/true,
+                                     leaves);
+        b.bind(worker_entry);
+        worker_emitter.emitPrologue();
+        worker_emitter.emitLoop();
+        worker_emitter.emitEpilogue();
+        b.syscall(static_cast<std::int32_t>(sim::Sys::kExit));
+    }
+
+    // Leaf functions: small pure-ALU bodies.
+    for (unsigned i = 0; i < kLeafCount; ++i) {
+        b.bind(leaves[i]);
+        b.alui(Opcode::kAddi, 12, 12,
+               static_cast<std::int32_t>(rng.bounded(64) + 1));
+        b.alu(Opcode::kXor, 13, 13, 12);
+        b.alui(Opcode::kShri, 14, 13,
+               static_cast<std::int32_t>(rng.bounded(7) + 1));
+        b.ret();
+    }
+
+    std::string error;
+    GeneratedProgram out;
+    out.program = b.build(sim::kCodeBase, &error);
+    LBA_ASSERT(error.empty(), "workload program failed to build");
+    out.planned_instructions =
+        static_cast<std::uint64_t>(plan.instrs_per_iter *
+                                   static_cast<double>(plan.iterations) *
+                                   profile.threads);
+    out.planned_mem_fraction = plan.mem_per_iter / plan.instrs_per_iter;
+    out.iterations = plan.iterations;
+    return out;
+}
+
+} // namespace lba::workload

@@ -1,0 +1,77 @@
+#pragma once
+/**
+ * @file
+ * Synthetic benchmark generator.
+ *
+ * Turns a workload::Profile into a runnable LRISC program whose *dynamic*
+ * behaviour matches the profile: instruction mix, working set, pointer
+ * chasing, heap churn, untrusted-input rate, and (for multithreaded
+ * profiles) lock-protected shared accesses across two threads.
+ *
+ * Program shape (single-threaded):
+ *   prologue: allocate array blocks + input buffer + chase ring,
+ *             build the ring as a pseudo-random permutation cycle,
+ *             ingest an initial input chunk;
+ *   main loop (N iterations): a generated body of array loads/stores,
+ *             ring-chase loads, ALU work, data-dependent forward
+ *             branches, leaf-function calls, and periodic slots for
+ *             alloc/free churn and SYS_READ input;
+ *   epilogue: free every block (modulo injected bugs) and halt.
+ *
+ * Multithreaded profiles spawn a worker running the same kind of loop on
+ * its own blocks/ring, with both threads accessing a shared region inside
+ * lock/unlock sections.
+ *
+ * Bug injection produces the defect classes the paper's lifeguards
+ * detect, for tests and examples.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.h"
+#include "workload/profile.h"
+
+namespace lba::workload {
+
+/** Optional defects compiled into the generated program. */
+struct BugInjection
+{
+    /** Read from a block after freeing it (AddrCheck). */
+    bool use_after_free = false;
+    /** Free the same block twice (AddrCheck). */
+    bool double_free = false;
+    /** Skip freeing one block (AddrCheck leak scan). */
+    bool leak = false;
+    /** Jump through a pointer read from untrusted input (TaintCheck). */
+    bool tainted_jump = false;
+    /** Unlocked writes to the shared region from both threads
+     *  (LockSet; multithreaded profiles only). */
+    bool race = false;
+};
+
+/** A generated benchmark program plus its planning metadata. */
+struct GeneratedProgram
+{
+    std::vector<isa::Instruction> program;
+    /** Planned dynamic instructions (approximate). */
+    std::uint64_t planned_instructions = 0;
+    /** Planned memory-reference fraction (approximate). */
+    double planned_mem_fraction = 0.0;
+    /** Main-loop iterations per thread. */
+    std::uint64_t iterations = 0;
+};
+
+/**
+ * Generate the program for @p profile.
+ *
+ * @param profile      Benchmark profile.
+ * @param bugs         Defects to inject (default: clean program).
+ * @param instructions Override the profile's dynamic instruction target
+ *                     (0 = use the profile's).
+ */
+GeneratedProgram generate(const Profile& profile,
+                          const BugInjection& bugs = {},
+                          std::uint64_t instructions = 0);
+
+} // namespace lba::workload

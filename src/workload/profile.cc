@@ -1,0 +1,220 @@
+/**
+ * @file
+ * The benchmark-suite profile table.
+ */
+
+#include "workload/profile.h"
+
+namespace lba::workload {
+
+namespace {
+
+std::vector<Profile>
+makeSingleThreaded()
+{
+    std::vector<Profile> suite;
+
+    // bc: arbitrary-precision calculator. ALU-dominated, small working
+    // set, frequent small allocations for bignum digits.
+    Profile bc;
+    bc.name = "bc";
+    bc.target_instructions = 2'000'000;
+    bc.mem_fraction = 0.42;
+    bc.load_fraction = 0.70;
+    bc.chase_fraction = 0.05;
+    bc.stack_fraction = 0.30;
+    bc.working_set_kb = 48;
+    bc.branch_fraction = 0.18;
+    bc.call_fraction = 0.06;
+    bc.allocs_per_kinstr = 6.0;
+    bc.input_bytes_per_kinstr = 2.0;
+    bc.seed = 101;
+    suite.push_back(bc);
+
+    // gnuplot: plotting; moderate arrays, some transcendental-style ALU.
+    Profile gnuplot;
+    gnuplot.name = "gnuplot";
+    gnuplot.target_instructions = 2'000'000;
+    gnuplot.mem_fraction = 0.50;
+    gnuplot.load_fraction = 0.68;
+    gnuplot.chase_fraction = 0.10;
+    gnuplot.stack_fraction = 0.20;
+    gnuplot.working_set_kb = 192;
+    gnuplot.branch_fraction = 0.13;
+    gnuplot.call_fraction = 0.05;
+    gnuplot.allocs_per_kinstr = 2.0;
+    gnuplot.input_bytes_per_kinstr = 4.0;
+    gnuplot.seed = 102;
+    suite.push_back(gnuplot);
+
+    // gs (ghostscript): interpreter over a large document heap.
+    Profile gs;
+    gs.name = "gs";
+    gs.target_instructions = 2'500'000;
+    gs.mem_fraction = 0.55;
+    gs.load_fraction = 0.66;
+    gs.chase_fraction = 0.15;
+    gs.stack_fraction = 0.15;
+    gs.working_set_kb = 768;
+    gs.branch_fraction = 0.12;
+    gs.call_fraction = 0.05;
+    gs.allocs_per_kinstr = 3.0;
+    gs.input_bytes_per_kinstr = 6.0;
+    gs.seed = 103;
+    suite.push_back(gs);
+
+    // gzip: streaming compressor; window-sized working set, heavy
+    // untrusted input ingestion, few allocations.
+    Profile gzip;
+    gzip.name = "gzip";
+    gzip.target_instructions = 2'000'000;
+    gzip.mem_fraction = 0.46;
+    gzip.load_fraction = 0.62;
+    gzip.chase_fraction = 0.05;
+    gzip.stack_fraction = 0.10;
+    gzip.working_set_kb = 320;
+    gzip.branch_fraction = 0.16;
+    gzip.call_fraction = 0.03;
+    gzip.allocs_per_kinstr = 0.3;
+    gzip.input_bytes_per_kinstr = 16.0;
+    gzip.seed = 104;
+    suite.push_back(gzip);
+
+    // mcf: network-simplex optimizer; the classic pointer-chasing,
+    // cache-hostile SPEC code with a multi-MB working set.
+    Profile mcf;
+    mcf.name = "mcf";
+    mcf.target_instructions = 2'500'000;
+    mcf.mem_fraction = 0.60;
+    mcf.load_fraction = 0.75;
+    mcf.chase_fraction = 0.60;
+    mcf.stack_fraction = 0.05;
+    mcf.working_set_kb = 4096;
+    mcf.branch_fraction = 0.12;
+    mcf.call_fraction = 0.02;
+    mcf.allocs_per_kinstr = 0.2;
+    mcf.input_bytes_per_kinstr = 1.0;
+    mcf.seed = 105;
+    suite.push_back(mcf);
+
+    // tidy: HTML fixer; parse-tree node churn (very allocator-heavy).
+    Profile tidy;
+    tidy.name = "tidy";
+    tidy.target_instructions = 1'500'000;
+    tidy.mem_fraction = 0.52;
+    tidy.load_fraction = 0.65;
+    tidy.chase_fraction = 0.10;
+    tidy.stack_fraction = 0.25;
+    tidy.working_set_kb = 96;
+    tidy.branch_fraction = 0.16;
+    tidy.call_fraction = 0.06;
+    tidy.allocs_per_kinstr = 8.0;
+    tidy.input_bytes_per_kinstr = 8.0;
+    tidy.seed = 106;
+    suite.push_back(tidy);
+
+    // w3m: text browser; DOM-ish pointer structures plus page input.
+    Profile w3m;
+    w3m.name = "w3m";
+    w3m.target_instructions = 2'000'000;
+    w3m.mem_fraction = 0.50;
+    w3m.load_fraction = 0.67;
+    w3m.chase_fraction = 0.20;
+    w3m.stack_fraction = 0.20;
+    w3m.working_set_kb = 256;
+    w3m.branch_fraction = 0.14;
+    w3m.call_fraction = 0.05;
+    w3m.allocs_per_kinstr = 5.0;
+    w3m.input_bytes_per_kinstr = 10.0;
+    w3m.seed = 107;
+    suite.push_back(w3m);
+
+    return suite;
+}
+
+std::vector<Profile>
+makeMultiThreaded()
+{
+    std::vector<Profile> suite;
+
+    // water (SPLASH-2): molecular dynamics; threads update shared
+    // particle arrays under fine-grained locks.
+    Profile water;
+    water.name = "water";
+    water.target_instructions = 2'000'000;
+    water.mem_fraction = 0.54;
+    water.load_fraction = 0.70;
+    water.chase_fraction = 0.05;
+    water.stack_fraction = 0.15;
+    water.working_set_kb = 512;
+    water.branch_fraction = 0.12;
+    water.call_fraction = 0.04;
+    water.allocs_per_kinstr = 0.5;
+    water.input_bytes_per_kinstr = 1.0;
+    water.threads = 2;
+    water.shared_fraction = 0.50;
+    water.locks_per_kinstr = 3.0;
+    water.seed = 108;
+    suite.push_back(water);
+
+    // zchaff: SAT solver; large shared clause database, coarser locking,
+    // pointer-heavy watched-literal traversal.
+    Profile zchaff;
+    zchaff.name = "zchaff";
+    zchaff.target_instructions = 2'500'000;
+    zchaff.mem_fraction = 0.58;
+    zchaff.load_fraction = 0.74;
+    zchaff.chase_fraction = 0.20;
+    zchaff.stack_fraction = 0.10;
+    zchaff.working_set_kb = 1024;
+    zchaff.branch_fraction = 0.15;
+    zchaff.call_fraction = 0.03;
+    zchaff.allocs_per_kinstr = 1.0;
+    zchaff.input_bytes_per_kinstr = 2.0;
+    zchaff.threads = 2;
+    zchaff.shared_fraction = 0.55;
+    zchaff.locks_per_kinstr = 1.5;
+    zchaff.seed = 109;
+    suite.push_back(zchaff);
+
+    return suite;
+}
+
+} // namespace
+
+const std::vector<Profile>&
+singleThreadedSuite()
+{
+    static const std::vector<Profile> suite = makeSingleThreaded();
+    return suite;
+}
+
+const std::vector<Profile>&
+multiThreadedSuite()
+{
+    static const std::vector<Profile> suite = makeMultiThreaded();
+    return suite;
+}
+
+const std::vector<Profile>&
+fullSuite()
+{
+    static const std::vector<Profile> suite = [] {
+        std::vector<Profile> all = singleThreadedSuite();
+        const auto& mt = multiThreadedSuite();
+        all.insert(all.end(), mt.begin(), mt.end());
+        return all;
+    }();
+    return suite;
+}
+
+const Profile*
+findProfile(const std::string& name)
+{
+    for (const Profile& p : fullSuite()) {
+        if (p.name == name) return &p;
+    }
+    return nullptr;
+}
+
+} // namespace lba::workload

@@ -1,0 +1,89 @@
+#pragma once
+/**
+ * @file
+ * Benchmark workload profiles.
+ *
+ * The paper evaluates seven single-threaded benchmarks (bc, gnuplot, gs,
+ * gzip, mcf, tidy, w3m) and two multithreaded ones (water, zchaff), run to
+ * completion under Simics: on average 209M x86 instructions of which 51%
+ * are memory references. We cannot ship those binaries, so each benchmark
+ * is replaced by a synthetic program generated from a *profile* capturing
+ * the characteristics that drive lifeguard cost:
+ *
+ *   - dynamic instruction count (scaled down ~100x by default; slowdown
+ *     ratios are per-instruction rates and size-invariant, which the
+ *     scaling ablation verifies),
+ *   - memory-reference fraction (the suite averages ~51% to match),
+ *   - working-set size and pointer-chase fraction (cache behaviour;
+ *     e.g. mcf is a pointer-chasing cache-hostile code),
+ *   - heap allocation churn (AddrCheck work; tidy/bc are allocator-heavy),
+ *   - untrusted-input rate (TaintCheck work; gzip streams input),
+ *   - thread count, shared-access fraction and lock rate (LockSet work).
+ *
+ * The numbers are calibrated from the public characterization of these
+ * applications (SPEC/benchmark literature), not measured from the
+ * originals; DESIGN.md documents this substitution.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lba::workload {
+
+/** Generation parameters for one synthetic benchmark. */
+struct Profile
+{
+    std::string name;
+
+    /** Approximate dynamic instructions for the default run. */
+    std::uint64_t target_instructions = 2'000'000;
+
+    /** Fraction of retired instructions that are loads/stores. */
+    double mem_fraction = 0.51;
+    /** Of memory references, fraction that are loads. */
+    double load_fraction = 0.67;
+    /** Of memory references, fraction through the pointer-chase ring. */
+    double chase_fraction = 0.10;
+    /** Of memory references, fraction to the thread's stack (locals,
+     *  spills) — cheap for AddrCheck and filterable by address range. */
+    double stack_fraction = 0.15;
+
+    /** Data working set (array blocks + chase ring). */
+    std::uint32_t working_set_kb = 256;
+
+    /** Fraction of body slots that are conditional branches. */
+    double branch_fraction = 0.14;
+    /** Fraction of body slots that are calls to leaf functions. */
+    double call_fraction = 0.04;
+
+    /** Heap alloc/free pairs per 1000 instructions. */
+    double allocs_per_kinstr = 2.0;
+    /** SYS_READ bytes ingested per 1000 instructions (taint source). */
+    double input_bytes_per_kinstr = 4.0;
+
+    /** Number of threads (1 or 2 in the paper's suite). */
+    unsigned threads = 1;
+    /** Of memory references, fraction to the lock-protected shared
+     *  region (multithreaded profiles only). */
+    double shared_fraction = 0.0;
+    /** Lock acquire/release pairs per 1000 instructions. */
+    double locks_per_kinstr = 0.0;
+
+    /** Program-generation seed (distinct code per benchmark). */
+    std::uint64_t seed = 1;
+};
+
+/** The seven single-threaded benchmarks of Figure 2(a)/(b). */
+const std::vector<Profile>& singleThreadedSuite();
+
+/** The two multithreaded benchmarks of Figure 2(c). */
+const std::vector<Profile>& multiThreadedSuite();
+
+/** All nine benchmarks. */
+const std::vector<Profile>& fullSuite();
+
+/** Look up a profile by benchmark name (nullptr when unknown). */
+const Profile* findProfile(const std::string& name);
+
+} // namespace lba::workload

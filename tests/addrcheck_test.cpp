@@ -1,0 +1,221 @@
+/**
+ * @file
+ * AddrCheck lifeguard tests: detection of unallocated accesses, double
+ * frees and leaks; absence of false positives on clean event streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lifeguards/addrcheck.h"
+
+namespace lba::lifeguards {
+namespace {
+
+using lifeguard::FindingKind;
+using lifeguard::NullCostSink;
+using log::EventRecord;
+using log::EventType;
+
+constexpr Addr kHeap = 0x10000000;
+
+EventRecord
+allocEvent(Addr base, std::uint64_t size)
+{
+    EventRecord r;
+    r.type = EventType::kAlloc;
+    r.addr = base;
+    r.aux = size;
+    return r;
+}
+
+EventRecord
+freeEvent(Addr base)
+{
+    EventRecord r;
+    r.type = EventType::kFree;
+    r.addr = base;
+    r.aux = 1;
+    return r;
+}
+
+EventRecord
+access(Addr addr, bool write, unsigned bytes = 8, Addr pc = 0x1000)
+{
+    EventRecord r;
+    r.type = write ? EventType::kStore : EventType::kLoad;
+    r.opcode = static_cast<std::uint8_t>(write ? isa::Opcode::kSd
+                                               : isa::Opcode::kLd);
+    r.pc = pc;
+    r.addr = addr;
+    r.aux = bytes;
+    return r;
+}
+
+class AddrCheckTest : public ::testing::Test
+{
+  protected:
+    AddrCheck guard;
+    NullCostSink sink;
+
+    void feed(const EventRecord& r) { guard.handleEvent(r, sink); }
+};
+
+TEST_F(AddrCheckTest, CleanAllocAccessFreeHasNoFindings)
+{
+    feed(allocEvent(kHeap, 64));
+    feed(access(kHeap, false));
+    feed(access(kHeap + 56, true));
+    feed(freeEvent(kHeap));
+    guard.finish(sink);
+    EXPECT_TRUE(guard.findings().empty());
+}
+
+TEST_F(AddrCheckTest, DetectsAccessToNeverAllocatedHeap)
+{
+    feed(access(kHeap + 0x100, false, 8, 0x1040));
+    ASSERT_EQ(guard.findings().size(), 1u);
+    EXPECT_EQ(guard.findings()[0].kind, FindingKind::kUnallocatedAccess);
+    EXPECT_EQ(guard.findings()[0].pc, 0x1040u);
+    EXPECT_EQ(guard.findings()[0].addr, kHeap + 0x100);
+}
+
+TEST_F(AddrCheckTest, DetectsUseAfterFree)
+{
+    feed(allocEvent(kHeap, 64));
+    feed(access(kHeap + 8, false));
+    feed(freeEvent(kHeap));
+    EXPECT_TRUE(guard.findings().empty());
+    feed(access(kHeap + 8, false));
+    ASSERT_EQ(guard.findings().size(), 1u);
+    EXPECT_EQ(guard.findings()[0].kind, FindingKind::kUnallocatedAccess);
+}
+
+TEST_F(AddrCheckTest, IgnoresNonHeapAccesses)
+{
+    feed(access(0x1000, false));     // code
+    feed(access(0x7ffe0000, true));  // stack
+    feed(access(0x1000000, false));  // globals
+    guard.finish(sink);
+    EXPECT_TRUE(guard.findings().empty());
+}
+
+TEST_F(AddrCheckTest, DetectsDoubleFree)
+{
+    feed(allocEvent(kHeap, 64));
+    feed(freeEvent(kHeap));
+    feed(freeEvent(kHeap));
+    ASSERT_EQ(guard.findings().size(), 1u);
+    EXPECT_EQ(guard.findings()[0].kind, FindingKind::kDoubleFree);
+}
+
+TEST_F(AddrCheckTest, DetectsWildFree)
+{
+    feed(freeEvent(kHeap + 0x500));
+    ASSERT_EQ(guard.findings().size(), 1u);
+    EXPECT_EQ(guard.findings()[0].kind, FindingKind::kDoubleFree);
+}
+
+TEST_F(AddrCheckTest, DetectsLeakAtFinish)
+{
+    feed(allocEvent(kHeap, 64));
+    feed(allocEvent(kHeap + 0x100, 32));
+    feed(freeEvent(kHeap));
+    guard.finish(sink);
+    ASSERT_EQ(guard.findings().size(), 1u);
+    EXPECT_EQ(guard.findings()[0].kind, FindingKind::kMemoryLeak);
+    EXPECT_EQ(guard.findings()[0].addr, kHeap + 0x100);
+}
+
+TEST_F(AddrCheckTest, ReallocatedMemoryIsValidAgain)
+{
+    feed(allocEvent(kHeap, 64));
+    feed(freeEvent(kHeap));
+    feed(allocEvent(kHeap, 64)); // allocator reuses the address
+    feed(access(kHeap + 16, true));
+    EXPECT_TRUE(guard.findings().empty());
+}
+
+TEST_F(AddrCheckTest, PartialBlockBoundaryIsExact)
+{
+    feed(allocEvent(kHeap, 16));
+    feed(access(kHeap + 8, false, 8)); // last valid granule
+    EXPECT_TRUE(guard.findings().empty());
+    feed(access(kHeap + 16, false, 8)); // one past the end
+    EXPECT_EQ(guard.findings().size(), 1u);
+}
+
+TEST_F(AddrCheckTest, StraddlingAccessChecksBothGranules)
+{
+    feed(allocEvent(kHeap, 8));
+    // 4-byte access starting at offset 6 spills into the next granule.
+    feed(access(kHeap + 6, false, 4));
+    EXPECT_EQ(guard.findings().size(), 1u);
+}
+
+TEST_F(AddrCheckTest, DedupeSuppressesRepeats)
+{
+    feed(access(kHeap + 0x40, false));
+    feed(access(kHeap + 0x40, false));
+    feed(access(kHeap + 0x44, true));
+    EXPECT_EQ(guard.findings().size(), 1u);
+}
+
+TEST_F(AddrCheckTest, DedupeDisabledReportsEach)
+{
+    AddrCheckConfig cfg;
+    cfg.dedupe_reports = false;
+    AddrCheck loud(cfg);
+    loud.handleEvent(access(kHeap + 0x40, false), sink);
+    loud.handleEvent(access(kHeap + 0x40, false), sink);
+    EXPECT_EQ(loud.findings().size(), 2u);
+}
+
+TEST_F(AddrCheckTest, FailedAllocationIsIgnored)
+{
+    feed(allocEvent(0, 0)); // SYS_ALLOC returned null
+    guard.finish(sink);
+    EXPECT_TRUE(guard.findings().empty());
+    EXPECT_EQ(guard.liveBytes(), 0u);
+}
+
+TEST_F(AddrCheckTest, LiveBytesTracksAllocations)
+{
+    feed(allocEvent(kHeap, 64));
+    feed(allocEvent(kHeap + 0x100, 32));
+    EXPECT_EQ(guard.liveBytes(), 96u);
+    feed(freeEvent(kHeap));
+    EXPECT_EQ(guard.liveBytes(), 32u);
+}
+
+TEST_F(AddrCheckTest, CostModelChargesMoreForHeapAccesses)
+{
+    /** Sink that counts charged instructions and accesses. */
+    class CountingSink : public lifeguard::CostSink
+    {
+      public:
+        void instrs(std::uint32_t n) override { total += n; }
+        void memAccess(Addr, bool) override { ++accesses; }
+        std::uint64_t total = 0;
+        std::uint64_t accesses = 0;
+    };
+    CountingSink counting;
+    guard.handleEvent(allocEvent(kHeap, 512), counting);
+    std::uint64_t alloc_cost = counting.total;
+    EXPECT_GT(alloc_cost, 0u);
+    EXPECT_EQ(counting.accesses, 8u); // 512 B = 8 shadow-word stores
+
+    counting.total = 0;
+    counting.accesses = 0;
+    guard.handleEvent(access(kHeap, false), counting);
+    std::uint64_t heap_access_cost = counting.total;
+    EXPECT_EQ(counting.accesses, 1u);
+
+    counting.total = 0;
+    counting.accesses = 0;
+    guard.handleEvent(access(0x5000, false), counting);
+    EXPECT_LT(counting.total, heap_access_cost);
+    EXPECT_EQ(counting.accesses, 0u);
+}
+
+} // namespace
+} // namespace lba::lifeguards

@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Tests for the value-prediction log compressor: bitstream primitives,
+ * predictor behaviour, exact round-trips on synthetic and benchmark
+ * traces, and the paper's < 1 byte/instruction target.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compress/bitstream.h"
+#include "compress/compressor.h"
+#include "log/capture.h"
+#include "sim/process.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+namespace lba::compress {
+namespace {
+
+using log::EventRecord;
+using log::EventType;
+
+TEST(BitStream, SingleBitsRoundTrip)
+{
+    BitWriter w;
+    w.writeBit(true);
+    w.writeBit(false);
+    w.writeBit(true);
+    BitReader r(w.bytes());
+    EXPECT_TRUE(r.readBit());
+    EXPECT_FALSE(r.readBit());
+    EXPECT_TRUE(r.readBit());
+}
+
+TEST(BitStream, MultiBitFieldsRoundTrip)
+{
+    BitWriter w;
+    w.writeBits(0x2b, 6);
+    w.writeBits(0x12345, 20);
+    w.writeBits(~0ull, 64);
+    BitReader r(w.bytes());
+    EXPECT_EQ(r.readBits(6), 0x2bu);
+    EXPECT_EQ(r.readBits(20), 0x12345u);
+    EXPECT_EQ(r.readBits(64), ~0ull);
+}
+
+TEST(BitStream, VarintRoundTrip)
+{
+    BitWriter w;
+    std::vector<std::uint64_t> values = {0, 1, 127, 128, 300, 1u << 20,
+                                         ~0ull, 0x123456789abcdefull};
+    for (auto v : values) w.writeVarint(v);
+    BitReader r(w.bytes());
+    for (auto v : values) EXPECT_EQ(r.readVarint(), v);
+}
+
+TEST(BitStream, BitCountIsExact)
+{
+    BitWriter w;
+    EXPECT_EQ(w.bitCount(), 0u);
+    w.writeBits(0, 3);
+    EXPECT_EQ(w.bitCount(), 3u);
+    w.writeBits(0, 8);
+    EXPECT_EQ(w.bitCount(), 11u);
+}
+
+TEST(ZigZag, RoundTripsSignedValues)
+{
+    for (std::int64_t v :
+         {0ll, 1ll, -1ll, 63ll, -64ll, 1ll << 40, -(1ll << 40)}) {
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v);
+    }
+    // Small magnitudes map to small codes.
+    EXPECT_LT(zigzagEncode(-1), 3u);
+    EXPECT_LT(zigzagEncode(1), 3u);
+}
+
+TEST(PcPredictor, SequentialAndContextHits)
+{
+    PcPredictor p;
+    EXPECT_EQ(p.predict(0, 0x1000), PcPredictor::Source::kMiss);
+    p.update(0, 0x1000);
+    EXPECT_EQ(p.predict(0, 0x1008), PcPredictor::Source::kSequential);
+    p.update(0, 0x1008);
+    // Taken branch 0x1008 -> 0x2000: first time a miss...
+    EXPECT_EQ(p.predict(0, 0x2000), PcPredictor::Source::kMiss);
+    p.update(0, 0x2000);
+    p.update(0, 0x1008); // revisit the branch
+    // ...then a context hit.
+    EXPECT_EQ(p.predict(0, 0x2000), PcPredictor::Source::kContext);
+}
+
+TEST(PcPredictor, PerThreadContexts)
+{
+    PcPredictor p;
+    p.update(0, 0x1000);
+    p.update(1, 0x5000);
+    EXPECT_EQ(p.predict(0, 0x1008), PcPredictor::Source::kSequential);
+    EXPECT_EQ(p.predict(1, 0x5008), PcPredictor::Source::kSequential);
+}
+
+TEST(StridePredictor, DetectsStride)
+{
+    StridePredictor p;
+    EXPECT_EQ(p.predict(0x100, 0x2000), StridePredictor::Source::kMiss);
+    p.update(0x100, 0x2000);
+    p.update(0x100, 0x2008);
+    EXPECT_EQ(p.predict(0x100, 0x2010), StridePredictor::Source::kStride);
+    EXPECT_EQ(p.predict(0x100, 0x2008), StridePredictor::Source::kLast);
+}
+
+TEST(StaticPredictor, HitsAfterFirstVisit)
+{
+    StaticPredictor p;
+    EXPECT_EQ(p.predict(0x1000), nullptr);
+    p.update(0x1000, {5, 1, 2, 3});
+    const StaticInfo* info = p.predict(0x1000);
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->opcode, 5u);
+}
+
+/** Build a record for a load instruction. */
+EventRecord
+loadRecord(Addr pc, Addr addr, ThreadId tid = 0)
+{
+    EventRecord r;
+    r.pc = pc;
+    r.tid = tid;
+    r.type = EventType::kLoad;
+    r.opcode = static_cast<std::uint8_t>(isa::Opcode::kLd);
+    r.rd = 1;
+    r.rs1 = 2;
+    r.addr = addr;
+    r.aux = 8;
+    return r;
+}
+
+TEST(Compressor, RoundTripHandMadeTrace)
+{
+    std::vector<EventRecord> trace;
+    for (int i = 0; i < 100; ++i) {
+        trace.push_back(loadRecord(0x1000 + (i % 10) * 8,
+                                   0x20000 + i * 16));
+    }
+    EventRecord alloc;
+    alloc.type = EventType::kAlloc;
+    alloc.addr = 0x10000000;
+    alloc.aux = 64;
+    trace.push_back(alloc);
+
+    LogCompressor c;
+    for (const auto& r : trace) c.append(r);
+    LogDecompressor d(c.bytes());
+    for (const auto& r : trace) {
+        EXPECT_EQ(d.next(), r);
+    }
+}
+
+TEST(Compressor, SteadyStateLoopIsSubByte)
+{
+    // A tight loop with strided accesses: the ideal case. After warmup,
+    // records should cost only a few bits each.
+    LogCompressor c;
+    for (int iter = 0; iter < 1000; ++iter) {
+        for (int k = 0; k < 4; ++k) {
+            c.append(loadRecord(0x1000 + k * 8,
+                                0x20000 + iter * 32 + k * 8));
+        }
+    }
+    EXPECT_LT(c.bytesPerRecord(), 0.7);
+}
+
+TEST(Compressor, RandomRecordsStillRoundTrip)
+{
+    // Adversarial: nothing predicts. Round-trip must still be exact.
+    std::uint64_t state = 0xfeed;
+    auto rnd = [&]() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    std::vector<EventRecord> trace;
+    for (int i = 0; i < 500; ++i) {
+        EventRecord r;
+        if (rnd() % 4 == 0) {
+            r.type = static_cast<EventType>(
+                static_cast<unsigned>(EventType::kAlloc) + rnd() % 8);
+            r.addr = rnd();
+            r.aux = rnd();
+            r.tid = static_cast<ThreadId>(rnd() % 4);
+        } else {
+            r = loadRecord((rnd() % 4096) * 8, rnd(),
+                           static_cast<ThreadId>(rnd() % 4));
+            if (rnd() % 2) {
+                r.type = EventType::kStore;
+                r.opcode =
+                    static_cast<std::uint8_t>(isa::Opcode::kSd);
+            }
+        }
+        trace.push_back(r);
+    }
+    LogCompressor c;
+    for (const auto& r : trace) c.append(r);
+    LogDecompressor d(c.bytes());
+    for (const auto& r : trace) {
+        EXPECT_EQ(d.next(), r);
+    }
+}
+
+TEST(Compressor, ControlTransferRecordsRoundTrip)
+{
+    std::vector<EventRecord> trace;
+    for (int i = 0; i < 50; ++i) {
+        EventRecord br;
+        br.pc = 0x1100;
+        br.type = EventType::kBranch;
+        br.opcode = static_cast<std::uint8_t>(isa::Opcode::kBne);
+        br.rs1 = 1;
+        br.rs2 = 2;
+        if (i % 3 != 0) { // taken 2/3 of the time
+            br.addr = 0x1000;
+            br.aux = 1;
+        }
+        trace.push_back(br);
+        EventRecord ret;
+        ret.pc = 0x1200;
+        ret.type = EventType::kReturn;
+        ret.opcode = static_cast<std::uint8_t>(isa::Opcode::kRet);
+        ret.addr = 0x3000 + (i % 4) * 0x100; // varying return sites
+        ret.aux = 1;
+        trace.push_back(ret);
+    }
+    LogCompressor c;
+    for (const auto& r : trace) c.append(r);
+    LogDecompressor d(c.bytes());
+    for (const auto& r : trace) {
+        EXPECT_EQ(d.next(), r);
+    }
+}
+
+/**
+ * The headline compression claim (paper Section 2): less than one byte
+ * per instruction on every benchmark trace.
+ */
+class BenchmarkCompression
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(BenchmarkCompression, UnderOneBytePerRecordAndExact)
+{
+    const workload::Profile* profile =
+        workload::findProfile(GetParam());
+    ASSERT_NE(profile, nullptr);
+    // Compression is steady-state behaviour: predictor warmup must be
+    // amortized, so this test uses the default benchmark scale (the
+    // paper's claim is for full ~209M-instruction runs).
+    auto generated = workload::generate(*profile, {}, 250000);
+
+    std::vector<EventRecord> trace;
+    log::CaptureUnit capture(
+        [&](const EventRecord& r) { trace.push_back(r); });
+    sim::Process p;
+    p.load(generated.program);
+    p.run(&capture);
+    ASSERT_GT(trace.size(), 100000u);
+
+    LogCompressor c;
+    for (const auto& r : trace) c.append(r);
+    EXPECT_LT(c.bytesPerRecord(), 1.0)
+        << GetParam() << ": " << c.bytesPerRecord() << " B/record";
+
+    LogDecompressor d(c.bytes());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        ASSERT_EQ(d.next(), trace[i]) << "record " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkCompression,
+    ::testing::Values("bc", "gnuplot", "gs", "gzip", "mcf", "tidy",
+                      "w3m", "water", "zchaff"));
+
+TEST(Compressor, FieldBitsSumToTotal)
+{
+    LogCompressor c;
+    for (int i = 0; i < 200; ++i) {
+        c.append(loadRecord(0x1000 + (i % 7) * 8, 0x40000 + i * 8));
+    }
+    const FieldBits& f = c.fieldBits();
+    EXPECT_EQ(f.kind + f.tid + f.pc + f.stat + f.addr + f.ctrl +
+                  f.annotation,
+              c.bits());
+}
+
+} // namespace
+} // namespace lba::compress

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests for the Valgrind-style DBI baseline: overhead accounting and the
+ * platform-independence of findings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "dbi/dbi_system.h"
+#include "lifeguards/addrcheck.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+namespace lba::dbi {
+namespace {
+
+TEST(Dbi, ChargesBaseOverheadPerInstruction)
+{
+    lifeguards::AddrCheck guard;
+    mem::CacheHierarchy hierarchy(mem::HierarchyConfig{});
+    DbiConfig cfg;
+    DbiSystem dbi(guard, hierarchy, cfg);
+
+    sim::Retired r;
+    r.pc = 0x10000;
+    r.instr = {isa::Opcode::kAdd, 3, 1, 2, 0};
+    dbi.onRetire(r);
+    const DbiStats& s = dbi.stats();
+    EXPECT_EQ(s.app_instructions, 1u);
+    EXPECT_GE(s.overhead_cycles, cfg.base_overhead);
+    EXPECT_GT(s.total_cycles, s.app_cycles);
+}
+
+TEST(Dbi, MemoryAndControlCostExtra)
+{
+    lifeguards::AddrCheck guard;
+    mem::CacheHierarchy h1(mem::HierarchyConfig{});
+    mem::CacheHierarchy h2(mem::HierarchyConfig{});
+    DbiConfig cfg;
+
+    DbiSystem alu_sys(guard, h1, cfg);
+    sim::Retired alu;
+    alu.pc = 0x10000;
+    alu.instr = {isa::Opcode::kAdd, 3, 1, 2, 0};
+    for (int i = 0; i < 100; ++i) alu_sys.onRetire(alu);
+
+    lifeguards::AddrCheck guard2;
+    DbiSystem mem_sys(guard2, h2, cfg);
+    sim::Retired ld;
+    ld.pc = 0x10000;
+    ld.instr = {isa::Opcode::kLd, 3, 1, 0, 0};
+    ld.mem_addr = 0x20000;
+    ld.mem_bytes = 8;
+    for (int i = 0; i < 100; ++i) mem_sys.onRetire(ld);
+
+    EXPECT_GT(mem_sys.stats().total_cycles,
+              alu_sys.stats().total_cycles);
+}
+
+TEST(Dbi, HandlerSharesApplicationCaches)
+{
+    // After a DBI run, the application core's L1D must have seen the
+    // lifeguard's shadow-memory traffic (resource competition).
+    lifeguards::AddrCheck guard;
+    mem::CacheHierarchy hierarchy(mem::HierarchyConfig{});
+    DbiSystem dbi(guard, hierarchy, {});
+
+    sim::OsEvent alloc{sim::OsEventType::kAlloc, 0, 0x10000000, 256};
+    dbi.onOsEvent(alloc);
+    EXPECT_GT(hierarchy.l1d(0).stats().accesses(), 0u);
+    EXPECT_EQ(hierarchy.l1d(1).stats().accesses(), 0u);
+}
+
+TEST(Dbi, FindingsMatchLbaFindings)
+{
+    // The same injected bugs must be found identically on both
+    // platforms: monitoring platform changes timing, not semantics.
+    workload::BugInjection bugs;
+    bugs.leak = true;
+    bugs.double_free = true;
+    auto generated =
+        workload::generate(*workload::findProfile("bc"), bugs, 60000);
+
+    core::Experiment exp(generated.program);
+    auto factory = [] {
+        return std::make_unique<lifeguards::AddrCheck>();
+    };
+    auto lba_result = exp.runLba(factory);
+    auto dbi_result = exp.runDbi(factory);
+
+    ASSERT_EQ(lba_result.findings.size(), dbi_result.findings.size());
+    for (std::size_t i = 0; i < lba_result.findings.size(); ++i) {
+        EXPECT_EQ(lba_result.findings[i].kind,
+                  dbi_result.findings[i].kind);
+        EXPECT_EQ(lba_result.findings[i].addr,
+                  dbi_result.findings[i].addr);
+        EXPECT_EQ(lba_result.findings[i].pc, dbi_result.findings[i].pc);
+    }
+}
+
+TEST(Dbi, SlowdownExceedsLba)
+{
+    // The paper's core result: LBA lifeguards are 4-19x faster than
+    // Valgrind lifeguards. At minimum, DBI must be slower than LBA.
+    auto generated =
+        workload::generate(*workload::findProfile("gzip"), {}, 100000);
+    core::Experiment exp(generated.program);
+    auto factory = [] {
+        return std::make_unique<lifeguards::AddrCheck>();
+    };
+    auto lba_result = exp.runLba(factory);
+    auto dbi_result = exp.runDbi(factory);
+    EXPECT_GT(dbi_result.slowdown, lba_result.slowdown * 2);
+}
+
+TEST(Dbi, StatsComponentsSumToTotal)
+{
+    auto generated =
+        workload::generate(*workload::findProfile("bc"), {}, 50000);
+    core::Experiment exp(generated.program);
+    auto result = exp.runDbi(
+        [] { return std::make_unique<lifeguards::AddrCheck>(); });
+    const DbiStats& s = result.dbi;
+    EXPECT_EQ(s.total_cycles,
+              s.app_cycles + s.overhead_cycles + s.handler_cycles);
+}
+
+} // namespace
+} // namespace lba::dbi

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Unit and property tests for the ISA: opcode metadata, encode/decode
+ * round trips, and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/disasm.h"
+#include "isa/encoding.h"
+#include "isa/isa.h"
+
+namespace lba::isa {
+namespace {
+
+TEST(OpcodeTable, EveryOpcodeHasAMnemonic)
+{
+    for (unsigned i = 0; i < static_cast<unsigned>(Opcode::kNumOpcodes);
+         ++i) {
+        auto op = static_cast<Opcode>(i);
+        EXPECT_NE(mnemonic(op), nullptr);
+        EXPECT_GT(std::string(mnemonic(op)).size(), 0u);
+    }
+}
+
+TEST(OpcodeTable, StableEncodingValues)
+{
+    // The numeric opcode values are part of the on-disk/record format;
+    // pin a few so accidental reordering is caught.
+    EXPECT_EQ(static_cast<unsigned>(Opcode::kNop), 0u);
+    EXPECT_EQ(static_cast<unsigned>(Opcode::kHalt), 1u);
+    EXPECT_EQ(static_cast<unsigned>(Opcode::kLi), 2u);
+    EXPECT_EQ(static_cast<unsigned>(Opcode::kAdd), 5u);
+    EXPECT_EQ(static_cast<unsigned>(Opcode::kLb), 25u);
+    EXPECT_EQ(static_cast<unsigned>(Opcode::kSd), 30u);
+    EXPECT_EQ(static_cast<unsigned>(Opcode::kSyscall), 42u);
+}
+
+TEST(OpcodeTable, MemoryClassification)
+{
+    EXPECT_TRUE(isLoad(Opcode::kLb));
+    EXPECT_TRUE(isLoad(Opcode::kLw));
+    EXPECT_TRUE(isLoad(Opcode::kLd));
+    EXPECT_TRUE(isStore(Opcode::kSb));
+    EXPECT_TRUE(isStore(Opcode::kSw));
+    EXPECT_TRUE(isStore(Opcode::kSd));
+    EXPECT_FALSE(isLoad(Opcode::kAdd));
+    EXPECT_FALSE(isStore(Opcode::kAdd));
+    EXPECT_TRUE(isMemRef(Opcode::kLd));
+    EXPECT_TRUE(isMemRef(Opcode::kSb));
+    EXPECT_FALSE(isMemRef(Opcode::kJmp));
+}
+
+TEST(OpcodeTable, AccessWidths)
+{
+    EXPECT_EQ(memAccessBytes(Opcode::kLb), 1u);
+    EXPECT_EQ(memAccessBytes(Opcode::kLw), 4u);
+    EXPECT_EQ(memAccessBytes(Opcode::kLd), 8u);
+    EXPECT_EQ(memAccessBytes(Opcode::kSb), 1u);
+    EXPECT_EQ(memAccessBytes(Opcode::kSw), 4u);
+    EXPECT_EQ(memAccessBytes(Opcode::kSd), 8u);
+    EXPECT_EQ(memAccessBytes(Opcode::kAdd), 0u);
+}
+
+TEST(OpcodeTable, ControlClassification)
+{
+    EXPECT_TRUE(isControl(Opcode::kBeq));
+    EXPECT_TRUE(isControl(Opcode::kJmp));
+    EXPECT_TRUE(isControl(Opcode::kJr));
+    EXPECT_TRUE(isControl(Opcode::kCall));
+    EXPECT_TRUE(isControl(Opcode::kCallr));
+    EXPECT_TRUE(isControl(Opcode::kRet));
+    EXPECT_FALSE(isControl(Opcode::kAdd));
+    EXPECT_FALSE(isControl(Opcode::kSyscall));
+}
+
+TEST(OpcodeTable, OperandUsage)
+{
+    EXPECT_TRUE(writesRd(Opcode::kLi));
+    EXPECT_FALSE(readsRs1(Opcode::kLi));
+    EXPECT_TRUE(readsRs1(Opcode::kAdd));
+    EXPECT_TRUE(readsRs2(Opcode::kAdd));
+    EXPECT_TRUE(readsRs1(Opcode::kAddi));
+    EXPECT_FALSE(readsRs2(Opcode::kAddi));
+    EXPECT_TRUE(readsRs2(Opcode::kSd)); // store value
+    EXPECT_FALSE(writesRd(Opcode::kSd));
+    EXPECT_TRUE(readsRs1(Opcode::kJr));
+}
+
+TEST(OpcodeTable, ClassNames)
+{
+    EXPECT_STREQ(className(InstrClass::kLoad), "Load");
+    EXPECT_STREQ(className(InstrClass::kIndirectJump), "IndirectJump");
+    EXPECT_STREQ(className(classOf(Opcode::kCallr)), "IndirectCall");
+}
+
+TEST(Encoding, RoundTripSimple)
+{
+    Instruction instr{Opcode::kAdd, 3, 1, 2, 0};
+    auto decoded = decode(encode(instr));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, instr);
+}
+
+TEST(Encoding, RoundTripNegativeImmediate)
+{
+    Instruction instr{Opcode::kAddi, 5, 5, 0, -12345};
+    auto decoded = decode(encode(instr));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->imm, -12345);
+}
+
+TEST(Encoding, RejectsInvalidOpcode)
+{
+    std::uint64_t word = 0xff; // opcode byte 255
+    EXPECT_FALSE(decode(word).has_value());
+}
+
+TEST(Encoding, RejectsOutOfRangeRegister)
+{
+    Instruction instr{Opcode::kAdd, 3, 1, 2, 0};
+    std::uint64_t word = encode(instr);
+    word |= 0x40ull << 8; // rd = 64+3
+    EXPECT_FALSE(decode(word).has_value());
+}
+
+TEST(Encoding, ProgramRoundTrip)
+{
+    std::vector<Instruction> program = {
+        {Opcode::kLi, 1, 0, 0, 7},
+        {Opcode::kAddi, 1, 1, 0, -1},
+        {Opcode::kBne, 0, 1, 0, -8},
+        {Opcode::kHalt, 0, 0, 0, 0},
+    };
+    auto image = encodeProgram(program);
+    EXPECT_EQ(image.size(), program.size() * kInstrBytes);
+    auto decoded = decodeProgram(image);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, program);
+}
+
+TEST(Encoding, ProgramRejectsTruncatedImage)
+{
+    std::vector<std::uint8_t> image(12, 0); // not a multiple of 8
+    EXPECT_FALSE(decodeProgram(image).has_value());
+}
+
+/** Property sweep: encode/decode round-trips over all opcodes. */
+class EncodingRoundTrip : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(EncodingRoundTrip, AllFieldCombinations)
+{
+    auto op = static_cast<Opcode>(GetParam());
+    // Deterministic pseudo-random field sweep per opcode.
+    std::uint64_t state = 0x1234 + GetParam();
+    for (int i = 0; i < 200; ++i) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        Instruction instr;
+        instr.op = op;
+        instr.rd = static_cast<RegIndex>(state % kNumRegs);
+        instr.rs1 = static_cast<RegIndex>((state >> 8) % kNumRegs);
+        instr.rs2 = static_cast<RegIndex>((state >> 16) % kNumRegs);
+        instr.imm = static_cast<std::int32_t>(state >> 24);
+        auto decoded = decode(encode(instr));
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(*decoded, instr);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, EncodingRoundTrip,
+    ::testing::Range(0u, static_cast<unsigned>(Opcode::kNumOpcodes)));
+
+TEST(Disasm, FormatsCommonInstructions)
+{
+    EXPECT_EQ(disassemble({Opcode::kAdd, 3, 1, 2, 0}), "add r3, r1, r2");
+    EXPECT_EQ(disassemble({Opcode::kLi, 1, 0, 0, 42}), "li r1, 42");
+    EXPECT_EQ(disassemble({Opcode::kLd, 4, 5, 0, 8}), "ld r4, 8(r5)");
+    EXPECT_EQ(disassemble({Opcode::kSd, 0, 5, 4, 16}), "sd r4, 16(r5)");
+    EXPECT_EQ(disassemble({Opcode::kBeq, 0, 1, 2, -8}),
+              "beq r1, r2, -8");
+    EXPECT_EQ(disassemble({Opcode::kRet, 0, 0, 0, 0}), "ret");
+    EXPECT_EQ(disassemble({Opcode::kSyscall, 0, 0, 0, 3}), "syscall 3");
+}
+
+TEST(Disasm, AnnotatesTargets)
+{
+    std::string s = disassembleAt({Opcode::kJmp, 0, 0, 0, 16}, 0x1000);
+    EXPECT_NE(s.find("0x1010"), std::string::npos);
+}
+
+} // namespace
+} // namespace lba::isa

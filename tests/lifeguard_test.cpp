@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the lifeguard framework: findings, shadow memory, and the
+ * dispatch engine's cost accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lifeguard/dispatch.h"
+#include "lifeguard/finding.h"
+#include "lifeguard/lifeguard.h"
+#include "lifeguard/shadow_memory.h"
+
+namespace lba::lifeguard {
+namespace {
+
+TEST(Finding, NamesAndFormatting)
+{
+    Finding f{FindingKind::kDoubleFree, 0x1000, 0x2000, 1, "oops"};
+    std::string s = toString(f);
+    EXPECT_NE(s.find("DoubleFree"), std::string::npos);
+    EXPECT_NE(s.find("oops"), std::string::npos);
+    EXPECT_NE(s.find("0x1000"), std::string::npos);
+}
+
+TEST(ShadowMemory, EntriesStartZero)
+{
+    ShadowMemory<std::uint8_t, 8> shadow;
+    EXPECT_EQ(shadow.find(0x1234), nullptr);
+    EXPECT_EQ(shadow.entry(0x1234), 0u);
+    EXPECT_NE(shadow.find(0x1234), nullptr);
+}
+
+TEST(ShadowMemory, GranuleSharing)
+{
+    ShadowMemory<std::uint8_t, 8> shadow;
+    shadow.entry(0x1000) = 0xff;
+    // Same 8-byte granule.
+    EXPECT_EQ(shadow.entry(0x1007), 0xff);
+    // Next granule is fresh.
+    EXPECT_EQ(shadow.entry(0x1008), 0u);
+}
+
+TEST(ShadowMemory, ShadowAddressesAreDenseAndDisjoint)
+{
+    ShadowMemory<std::uint8_t, 8> a(kShadowBase);
+    ShadowMemory<std::uint32_t, 8> b(kShadowBase + 0x100000000ull);
+    EXPECT_EQ(a.shadowAddr(0x1008) - a.shadowAddr(0x1000), 1u);
+    EXPECT_EQ(b.shadowAddr(0x1008) - b.shadowAddr(0x1000), 4u);
+    EXPECT_NE(a.shadowAddr(0), b.shadowAddr(0));
+}
+
+TEST(ShadowMemory, LargeStructEntries)
+{
+    struct Granule
+    {
+        std::uint8_t state;
+        std::uint16_t owner;
+        std::uint32_t lockset;
+    };
+    ShadowMemory<Granule, 8> shadow;
+    shadow.entry(0x2000).state = 3;
+    shadow.entry(0x2000).lockset = 99;
+    EXPECT_EQ(shadow.find(0x2004)->state, 3u);
+    EXPECT_EQ(shadow.find(0x2004)->lockset, 99u);
+}
+
+/** A lifeguard with a deterministic per-event cost, for dispatch tests. */
+class FixedCostLifeguard : public Lifeguard
+{
+  public:
+    const char* name() const override { return "FixedCost"; }
+
+    void
+    handleEvent(const log::EventRecord& record, CostSink& cost) override
+    {
+        ++events;
+        cost.instrs(5);
+        if (record.type == log::EventType::kLoad) {
+            cost.memAccess(0x4000000000ull + record.addr / 8, false);
+        }
+    }
+
+    void finish(CostSink& cost) override { cost.instrs(100); }
+
+    int events = 0;
+};
+
+TEST(Dispatch, ChargesDispatchPlusHandler)
+{
+    FixedCostLifeguard guard;
+    mem::CacheHierarchy hierarchy(mem::HierarchyConfig{});
+    DispatchEngine engine(guard, hierarchy, {1, 1});
+
+    log::EventRecord alu;
+    alu.type = log::EventType::kIntAlu;
+    // dispatch(1) + instrs(5) = 6.
+    EXPECT_EQ(engine.consume(alu), 6u);
+    EXPECT_EQ(guard.events, 1);
+}
+
+TEST(Dispatch, MetadataAccessGoesThroughCaches)
+{
+    FixedCostLifeguard guard;
+    mem::HierarchyConfig hc;
+    mem::CacheHierarchy hierarchy(hc);
+    DispatchEngine engine(guard, hierarchy, {1, 1});
+
+    log::EventRecord load;
+    load.type = log::EventType::kLoad;
+    load.addr = 0x20000;
+    // First touch: dispatch(1) + instrs(5) + mem(1 + L2miss 106) = 113.
+    Cycles cold = engine.consume(load);
+    EXPECT_EQ(cold, 1 + 5 + 1 + hc.l2_hit_cycles + hc.mem_cycles);
+    // Second touch: shadow line now in the lifeguard core's L1.
+    Cycles warm = engine.consume(load);
+    EXPECT_EQ(warm, 1 + 5 + 1);
+}
+
+TEST(Dispatch, StatsBrokenDownByType)
+{
+    FixedCostLifeguard guard;
+    mem::CacheHierarchy hierarchy(mem::HierarchyConfig{});
+    DispatchEngine engine(guard, hierarchy, {1, 1});
+
+    log::EventRecord alu;
+    alu.type = log::EventType::kIntAlu;
+    log::EventRecord store;
+    store.type = log::EventType::kStore;
+    engine.consume(alu);
+    engine.consume(alu);
+    engine.consume(store);
+    const DispatchStats& s = engine.stats();
+    EXPECT_EQ(s.records, 3u);
+    EXPECT_EQ(
+        s.records_by_type[static_cast<int>(log::EventType::kIntAlu)],
+        2u);
+    EXPECT_EQ(
+        s.records_by_type[static_cast<int>(log::EventType::kStore)], 1u);
+    EXPECT_GT(s.total_cycles, 0u);
+}
+
+TEST(Dispatch, FinishRunsLifeguardHook)
+{
+    FixedCostLifeguard guard;
+    mem::CacheHierarchy hierarchy(mem::HierarchyConfig{});
+    DispatchEngine engine(guard, hierarchy, {1, 1});
+    EXPECT_EQ(engine.finish(), 100u);
+}
+
+TEST(Dispatch, LifeguardCoreIsConfigurable)
+{
+    FixedCostLifeguard guard;
+    mem::HierarchyConfig hc;
+    hc.num_cores = 4;
+    mem::CacheHierarchy hierarchy(hc);
+    DispatchEngine engine(guard, hierarchy, {1, 3});
+
+    log::EventRecord load;
+    load.type = log::EventType::kLoad;
+    load.addr = 0x20000;
+    engine.consume(load);
+    // The metadata access must have hit core 3's L1D, not core 1's.
+    EXPECT_EQ(hierarchy.l1d(3).stats().accesses(), 1u);
+    EXPECT_EQ(hierarchy.l1d(1).stats().accesses(), 0u);
+}
+
+TEST(Lifeguard, FindingAccumulation)
+{
+    class Reporter : public Lifeguard
+    {
+      public:
+        const char* name() const override { return "R"; }
+        void
+        handleEvent(const log::EventRecord&, CostSink&) override
+        {
+            report({FindingKind::kOther, 0, 0, 0, "x"});
+        }
+    };
+    Reporter r;
+    NullCostSink sink;
+    log::EventRecord rec;
+    r.handleEvent(rec, sink);
+    r.handleEvent(rec, sink);
+    EXPECT_EQ(r.findings().size(), 2u);
+    EXPECT_EQ(r.countFindings(FindingKind::kOther), 2u);
+    EXPECT_EQ(r.countFindings(FindingKind::kDataRace), 0u);
+}
+
+} // namespace
+} // namespace lba::lifeguard

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Tests for event records, the capture unit, and the log buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "log/capture.h"
+#include "log/event.h"
+#include "log/log_buffer.h"
+#include "sim/process.h"
+
+namespace lba::log {
+namespace {
+
+TEST(EventType, InstrClassMappingIsValuePreserving)
+{
+    EXPECT_EQ(eventTypeOf(isa::InstrClass::kLoad), EventType::kLoad);
+    EXPECT_EQ(eventTypeOf(isa::InstrClass::kSyscall),
+              EventType::kSyscall);
+    EXPECT_EQ(eventTypeOf(sim::OsEventType::kAlloc), EventType::kAlloc);
+    EXPECT_EQ(eventTypeOf(sim::OsEventType::kThreadExit),
+              EventType::kThreadExit);
+}
+
+TEST(EventType, AnnotationPredicate)
+{
+    EXPECT_FALSE(isAnnotation(EventType::kLoad));
+    EXPECT_FALSE(isAnnotation(EventType::kSyscall));
+    EXPECT_TRUE(isAnnotation(EventType::kAlloc));
+    EXPECT_TRUE(isAnnotation(EventType::kThreadExit));
+}
+
+TEST(EventType, NamesExist)
+{
+    for (unsigned i = 0; i < kNumEventTypes; ++i) {
+        EXPECT_NE(eventTypeName(static_cast<EventType>(i)), nullptr);
+    }
+}
+
+TEST(Capture, RecordFromMemoryRetirement)
+{
+    sim::Retired r;
+    r.tid = 2;
+    r.pc = 0x1000;
+    r.instr = {isa::Opcode::kLd, 4, 5, 0, 8};
+    r.mem_addr = 0x2008;
+    r.mem_bytes = 8;
+    EventRecord rec = CaptureUnit::makeRecord(r);
+    EXPECT_EQ(rec.type, EventType::kLoad);
+    EXPECT_EQ(rec.pc, 0x1000u);
+    EXPECT_EQ(rec.tid, 2u);
+    EXPECT_EQ(rec.rd, 4u);
+    EXPECT_EQ(rec.rs1, 5u);
+    EXPECT_EQ(rec.addr, 0x2008u);
+    EXPECT_EQ(rec.aux, 8u);
+}
+
+TEST(Capture, RecordFromTakenBranch)
+{
+    sim::Retired r;
+    r.pc = 0x1000;
+    r.instr = {isa::Opcode::kBne, 0, 1, 2, 0x40};
+    r.ctrl_taken = true;
+    r.ctrl_target = 0x1040;
+    EventRecord rec = CaptureUnit::makeRecord(r);
+    EXPECT_EQ(rec.type, EventType::kBranch);
+    EXPECT_EQ(rec.addr, 0x1040u);
+    EXPECT_EQ(rec.aux, 1u);
+}
+
+TEST(Capture, RecordFromNotTakenBranch)
+{
+    sim::Retired r;
+    r.pc = 0x1000;
+    r.instr = {isa::Opcode::kBne, 0, 1, 2, 0x40};
+    EventRecord rec = CaptureUnit::makeRecord(r);
+    EXPECT_EQ(rec.addr, 0u);
+    EXPECT_EQ(rec.aux, 0u);
+}
+
+TEST(Capture, RecordFromOsEvent)
+{
+    sim::OsEvent e{sim::OsEventType::kAlloc, 1, 0x10000000, 64};
+    EventRecord rec = CaptureUnit::makeRecord(e);
+    EXPECT_EQ(rec.type, EventType::kAlloc);
+    EXPECT_EQ(rec.tid, 1u);
+    EXPECT_EQ(rec.addr, 0x10000000u);
+    EXPECT_EQ(rec.aux, 64u);
+}
+
+TEST(Capture, StreamsWholeProgramInOrder)
+{
+    auto r = assembler::assemble(R"(
+        li r5, 0x100000
+        ld r1, 0(r5)
+        li r1, 16
+        syscall 1
+        halt
+    )");
+    ASSERT_TRUE(r.ok());
+    std::vector<EventRecord> records;
+    CaptureUnit capture(
+        [&](const EventRecord& rec) { records.push_back(rec); });
+    sim::Process p;
+    p.load(r.program);
+    p.run(&capture);
+
+    // 5 instruction events + Alloc + ThreadExit annotations.
+    ASSERT_EQ(records.size(), 7u);
+    EXPECT_EQ(records[0].type, EventType::kLoadImm);
+    EXPECT_EQ(records[1].type, EventType::kLoad);
+    EXPECT_EQ(records[3].type, EventType::kSyscall);
+    EXPECT_EQ(records[4].type, EventType::kAlloc);
+    EXPECT_EQ(records[5].type, EventType::kHalt);
+    EXPECT_EQ(records[6].type, EventType::kThreadExit);
+    // PCs advance by 8.
+    EXPECT_EQ(records[1].pc, records[0].pc + 8);
+}
+
+TEST(LogBuffer, FifoOrder)
+{
+    LogBuffer buf(4);
+    for (int i = 0; i < 3; ++i) {
+        EventRecord rec;
+        rec.pc = 0x1000 + i * 8;
+        EXPECT_TRUE(buf.push(rec, i * 10));
+    }
+    LogBuffer::Entry e;
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(buf.pop(&e));
+        EXPECT_EQ(e.record.pc, 0x1000u + i * 8);
+        EXPECT_EQ(e.produced_at, static_cast<Cycles>(i * 10));
+    }
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(LogBuffer, CapacityAndFullEvents)
+{
+    LogBuffer buf(2);
+    EventRecord rec;
+    EXPECT_TRUE(buf.push(rec, 0));
+    EXPECT_TRUE(buf.push(rec, 1));
+    EXPECT_TRUE(buf.full());
+    EXPECT_FALSE(buf.push(rec, 2));
+    EXPECT_EQ(buf.stats().full_events, 1u);
+    LogBuffer::Entry e;
+    buf.pop(&e);
+    EXPECT_TRUE(buf.push(rec, 3));
+}
+
+TEST(LogBuffer, EmptyPopFails)
+{
+    LogBuffer buf(2);
+    LogBuffer::Entry e;
+    EXPECT_FALSE(buf.pop(&e));
+    EXPECT_EQ(buf.stats().empty_events, 1u);
+    EXPECT_EQ(buf.front(), nullptr);
+}
+
+TEST(LogBuffer, TracksMaxOccupancy)
+{
+    LogBuffer buf(8);
+    EventRecord rec;
+    buf.push(rec, 0);
+    buf.push(rec, 0);
+    buf.push(rec, 0);
+    buf.pop(nullptr);
+    buf.push(rec, 0);
+    EXPECT_EQ(buf.stats().max_occupancy, 3u);
+    EXPECT_EQ(buf.stats().pushes, 4u);
+    EXPECT_EQ(buf.stats().pops, 1u);
+}
+
+/** Property: random interleaving never loses or duplicates records. */
+TEST(LogBuffer, RandomInterleavingPreservesStream)
+{
+    LogBuffer buf(16);
+    std::uint64_t state = 7;
+    std::uint64_t pushed = 0, popped = 0;
+    std::vector<std::uint64_t> out;
+    while (popped < 1000) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        bool do_push = (state & 1) && pushed < 1000;
+        if (do_push) {
+            EventRecord rec;
+            rec.addr = pushed;
+            if (buf.push(rec, pushed)) ++pushed;
+        } else if (!buf.empty()) {
+            LogBuffer::Entry e;
+            ASSERT_TRUE(buf.pop(&e));
+            out.push_back(e.record.addr);
+            ++popped;
+        } else if (pushed >= 1000) {
+            break;
+        }
+    }
+    // Drain.
+    LogBuffer::Entry e;
+    while (buf.pop(&e)) out.push_back(e.record.addr);
+    ASSERT_EQ(out.size(), pushed);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i], i);
+    }
+}
+
+TEST(EventRecord, ToStringMentionsTypeAndPc)
+{
+    EventRecord rec;
+    rec.type = EventType::kStore;
+    rec.pc = 0xabc;
+    std::string s = toString(rec);
+    EXPECT_NE(s.find("Store"), std::string::npos);
+    EXPECT_NE(s.find("abc"), std::string::npos);
+}
+
+} // namespace
+} // namespace lba::log

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for the stats library: counters, summaries, histograms and
+ * table formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/counter.h"
+#include "stats/histogram.h"
+#include "stats/table.h"
+
+namespace lba::stats {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Summary, EmptySummaryIsAllZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Summary, TracksMinMaxMean)
+{
+    Summary s;
+    s.record(2.0);
+    s.record(4.0);
+    s.record(9.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, NegativeSamples)
+{
+    Summary s;
+    s.record(-5.0);
+    s.record(5.0);
+    EXPECT_DOUBLE_EQ(s.min(), -5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(StatSet, CreatesCountersOnDemand)
+{
+    StatSet set;
+    set.counter("a").add(3);
+    set.counter("a").add(4);
+    set.counter("b").add(1);
+    EXPECT_EQ(set.counters().size(), 2u);
+    EXPECT_EQ(set.counter("a").value(), 7u);
+    set.reset();
+    EXPECT_EQ(set.counter("a").value(), 0u);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4, 10);
+    h.record(0);
+    h.record(9);
+    h.record(10);
+    h.record(39);
+    h.record(40);  // overflow
+    h.record(400); // overflow
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.bucket(0), 2u);
+    EXPECT_EQ(h.bucket(1), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+}
+
+TEST(Histogram, MeanIsExact)
+{
+    Histogram h(10, 1);
+    h.record(1);
+    h.record(2);
+    h.record(3);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, PercentileUpperBound)
+{
+    Histogram h(10, 10);
+    for (int i = 0; i < 90; ++i) h.record(5);   // bucket 0
+    for (int i = 0; i < 10; ++i) h.record(95);  // bucket 9
+    EXPECT_EQ(h.percentileUpperBound(0.5), 10u);
+    EXPECT_EQ(h.percentileUpperBound(0.99), 100u);
+}
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, CsvQuotesSpecialCells)
+{
+    Table t({"a", "b"});
+    t.addRow({"plain", "with,comma"});
+    t.addRow({"with\"quote", "x"});
+    std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Format, DoubleAndSlowdown)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatSlowdown(12.34), "12.3x");
+}
+
+} // namespace
+} // namespace lba::stats

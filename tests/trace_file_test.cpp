@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Trace file I/O tests: round trips through disk, header inspection,
+ * and error handling for malformed files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "compress/trace_file.h"
+#include "log/capture.h"
+#include "sim/process.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+namespace lba::compress {
+namespace {
+
+/** Temp file path that cleans up after itself. */
+class TempFile
+{
+  public:
+    explicit TempFile(const char* name)
+        : path_(std::string(::testing::TempDir()) + name)
+    {
+    }
+    ~TempFile() { std::remove(path_.c_str()); }
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+std::vector<log::EventRecord>
+sampleTrace(std::size_t n)
+{
+    std::vector<log::EventRecord> trace;
+    for (std::size_t i = 0; i < n; ++i) {
+        log::EventRecord r;
+        r.pc = 0x10000 + (i % 16) * 8;
+        r.type = log::EventType::kLoad;
+        r.opcode = static_cast<std::uint8_t>(isa::Opcode::kLd);
+        r.rd = 1;
+        r.rs1 = 2;
+        r.addr = 0x20000 + i * 8;
+        r.aux = 8;
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+TEST(TraceFile, RoundTripThroughDisk)
+{
+    TempFile file("roundtrip.lbat");
+    auto trace = sampleTrace(500);
+    std::string error;
+    ASSERT_TRUE(writeTrace(file.path(), trace, &error)) << error;
+
+    auto loaded = readTrace(file.path(), &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    ASSERT_EQ(loaded->size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_EQ((*loaded)[i], trace[i]) << i;
+    }
+}
+
+TEST(TraceFile, InfoReportsSizes)
+{
+    TempFile file("info.lbat");
+    auto trace = sampleTrace(1000);
+    ASSERT_TRUE(writeTrace(file.path(), trace, nullptr));
+    auto info = readTraceInfo(file.path());
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->records, 1000u);
+    EXPECT_GT(info->payload_bytes, 0u);
+    EXPECT_LT(info->bytesPerRecord(), 2.0);
+}
+
+TEST(TraceFile, EmptyTraceIsValid)
+{
+    TempFile file("empty.lbat");
+    ASSERT_TRUE(writeTrace(file.path(), {}, nullptr));
+    auto loaded = readTrace(file.path());
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_TRUE(loaded->empty());
+}
+
+TEST(TraceFile, MissingFileFails)
+{
+    std::string error;
+    EXPECT_FALSE(readTrace("/nonexistent/nowhere.lbat", &error)
+                     .has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(TraceFile, RejectsBadMagic)
+{
+    TempFile file("bad.lbat");
+    std::ofstream out(file.path(), std::ios::binary);
+    out << "NOTATRACEFILE___________________";
+    out.close();
+    std::string error;
+    EXPECT_FALSE(readTraceInfo(file.path(), &error).has_value());
+    EXPECT_NE(error.find("not an LBA trace"), std::string::npos);
+}
+
+TEST(TraceFile, RejectsTruncatedHeader)
+{
+    TempFile file("short.lbat");
+    std::ofstream out(file.path(), std::ios::binary);
+    out << "LBAT";
+    out.close();
+    EXPECT_FALSE(readTraceInfo(file.path()).has_value());
+}
+
+TEST(TraceFile, RejectsTruncatedPayload)
+{
+    TempFile file("trunc.lbat");
+    auto trace = sampleTrace(200);
+    ASSERT_TRUE(writeTrace(file.path(), trace, nullptr));
+    // Chop the payload in half.
+    std::ifstream in(file.path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(28 + (bytes.size() - 28) / 2));
+    out.close();
+    std::string error;
+    EXPECT_FALSE(readTrace(file.path(), &error).has_value());
+    EXPECT_NE(error.find("truncated"), std::string::npos);
+}
+
+TEST(TraceFile, BenchmarkTraceRoundTrips)
+{
+    TempFile file("bench.lbat");
+    auto generated =
+        workload::generate(*workload::findProfile("bc"), {}, 30000);
+    std::vector<log::EventRecord> trace;
+    log::CaptureUnit capture(
+        [&](const log::EventRecord& r) { trace.push_back(r); });
+    sim::Process process;
+    process.load(generated.program);
+    process.run(&capture);
+
+    ASSERT_TRUE(writeTrace(file.path(), trace, nullptr));
+    auto info = readTraceInfo(file.path());
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->records, trace.size());
+
+    auto loaded = readTrace(file.path());
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, trace);
+}
+
+} // namespace
+} // namespace lba::compress

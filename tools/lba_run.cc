@@ -1,0 +1,141 @@
+/**
+ * @file
+ * lba_run — run a benchmark under a chosen lifeguard on each platform
+ * and print the full report: the command-line face of the library.
+ *
+ * Usage:
+ *   lba_run <benchmark> <addrcheck|taintcheck|lockset>
+ *           [--instrs N] [--platform lba|dbi|both] [--shards N]
+ *           [--bugs uaf,double-free,leak,tainted-jump,race]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/runner.h"
+#include "lifeguards/addrcheck.h"
+#include "lifeguards/lockset.h"
+#include "lifeguards/taintcheck.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+namespace {
+
+using namespace lba;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: lba_run <benchmark> <addrcheck|taintcheck|lockset>\n"
+        "               [--instrs N] [--platform lba|dbi|both]\n"
+        "               [--shards N]\n"
+        "               [--bugs uaf,double-free,leak,tainted-jump,race]\n");
+    return 2;
+}
+
+void
+printResult(const core::PlatformResult& result)
+{
+    std::printf("%-12s %12llu cycles   %6.2fx slowdown",
+                result.platform.c_str(),
+                static_cast<unsigned long long>(result.cycles),
+                result.slowdown);
+    if (result.platform == "lba") {
+        std::printf("   (%.3f B/record, %llu drains)",
+                    result.lba.bytes_per_record,
+                    static_cast<unsigned long long>(
+                        result.lba.syscall_drains));
+    }
+    std::printf("\n");
+    for (const auto& finding : result.findings) {
+        std::printf("    %s\n", lifeguard::toString(finding).c_str());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 3) return usage();
+    std::string benchmark = argv[1];
+    std::string lifeguard_name = argv[2];
+
+    std::uint64_t instrs = 250000;
+    std::string platform = "both";
+    unsigned shards = 0;
+    workload::BugInjection bugs;
+    for (int i = 3; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--instrs" && i + 1 < argc) {
+            instrs = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--platform" && i + 1 < argc) {
+            platform = argv[++i];
+        } else if (arg == "--shards" && i + 1 < argc) {
+            shards = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--bugs" && i + 1 < argc) {
+            std::string list = argv[++i];
+            bugs.use_after_free = list.find("uaf") != std::string::npos;
+            bugs.double_free =
+                list.find("double-free") != std::string::npos;
+            bugs.leak = list.find("leak") != std::string::npos;
+            bugs.tainted_jump =
+                list.find("tainted-jump") != std::string::npos;
+            bugs.race = list.find("race") != std::string::npos;
+        } else {
+            return usage();
+        }
+    }
+
+    const workload::Profile* profile = workload::findProfile(benchmark);
+    if (!profile) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n",
+                     benchmark.c_str());
+        return 1;
+    }
+
+    core::LifeguardFactory factory;
+    if (lifeguard_name == "addrcheck") {
+        factory = [] {
+            return std::make_unique<lifeguards::AddrCheck>();
+        };
+    } else if (lifeguard_name == "taintcheck") {
+        factory = [] {
+            return std::make_unique<lifeguards::TaintCheck>();
+        };
+    } else if (lifeguard_name == "lockset") {
+        factory = [] {
+            return std::make_unique<lifeguards::LockSet>();
+        };
+    } else {
+        return usage();
+    }
+
+    auto generated = workload::generate(*profile, bugs, instrs);
+    core::Experiment experiment(generated.program);
+    const auto& base = experiment.unmonitored();
+    std::printf("%s under %s (%llu instructions, CPI %.2f "
+                "unmonitored)\n\n",
+                benchmark.c_str(), lifeguard_name.c_str(),
+                static_cast<unsigned long long>(base.instructions),
+                static_cast<double>(base.cycles) /
+                    static_cast<double>(base.instructions));
+    printResult(base);
+    if (platform == "lba" || platform == "both") {
+        if (shards > 1) {
+            printResult(experiment.runParallelLba(factory, shards));
+        } else {
+            printResult(experiment.runLba(factory));
+        }
+    }
+    if (platform == "dbi" || platform == "both") {
+        printResult(experiment.runDbi(factory));
+    }
+    return 0;
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * lba_trace — the "trace generation tool" of the paper's methodology:
+ * run a benchmark program under the capture hardware and store its
+ * compressed event trace, or inspect/dump an existing trace file.
+ *
+ * Usage:
+ *   lba_trace gen <benchmark> <out.lbat> [instructions]
+ *   lba_trace info <trace.lbat>
+ *   lba_trace dump <trace.lbat> [count]
+ *   lba_trace list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "compress/trace_file.h"
+#include "log/capture.h"
+#include "sim/process.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+namespace {
+
+using namespace lba;
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  lba_trace gen <benchmark> <out.lbat> [instructions]\n"
+                 "  lba_trace info <trace.lbat>\n"
+                 "  lba_trace dump <trace.lbat> [count]\n"
+                 "  lba_trace list\n");
+    return 2;
+}
+
+int
+cmdList()
+{
+    std::printf("benchmarks (paper Section 3 suite):\n");
+    for (const workload::Profile& p : workload::fullSuite()) {
+        std::printf("  %-8s %u thread(s), %4.0f%% memory refs, "
+                    "%u KiB working set\n",
+                    p.name.c_str(), p.threads, p.mem_fraction * 100,
+                    p.working_set_kb);
+    }
+    return 0;
+}
+
+int
+cmdGen(const std::string& benchmark, const std::string& path,
+       std::uint64_t instructions)
+{
+    const workload::Profile* profile = workload::findProfile(benchmark);
+    if (!profile) {
+        std::fprintf(stderr, "unknown benchmark '%s' (try: list)\n",
+                     benchmark.c_str());
+        return 1;
+    }
+    auto generated = workload::generate(*profile, {}, instructions);
+    std::vector<log::EventRecord> records;
+    log::CaptureUnit capture(
+        [&](const log::EventRecord& r) { records.push_back(r); });
+    sim::Process process;
+    process.load(generated.program);
+    sim::RunResult result = process.run(&capture);
+    if (!result.all_exited) {
+        std::fprintf(stderr, "warning: benchmark did not run to "
+                             "completion\n");
+    }
+
+    std::string error;
+    if (!compress::writeTrace(path, records, &error)) {
+        std::fprintf(stderr, "write failed: %s\n", error.c_str());
+        return 1;
+    }
+    auto info = compress::readTraceInfo(path, &error);
+    std::printf("%s: %llu records, %.3f bytes/record compressed\n",
+                path.c_str(),
+                static_cast<unsigned long long>(records.size()),
+                info ? info->bytesPerRecord() : 0.0);
+    return 0;
+}
+
+int
+cmdInfo(const std::string& path)
+{
+    std::string error;
+    auto info = compress::readTraceInfo(path, &error);
+    if (!info) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+    }
+    std::printf("records        : %llu\n",
+                static_cast<unsigned long long>(info->records));
+    std::printf("payload bytes  : %llu\n",
+                static_cast<unsigned long long>(info->payload_bytes));
+    std::printf("bytes/record   : %.3f  (paper target: < 1)\n",
+                info->bytesPerRecord());
+    return 0;
+}
+
+int
+cmdDump(const std::string& path, std::uint64_t count)
+{
+    std::string error;
+    auto records = compress::readTrace(path, &error);
+    if (!records) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+    }
+    std::uint64_t n = std::min<std::uint64_t>(count, records->size());
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::printf("%8llu %s\n", static_cast<unsigned long long>(i),
+                    log::toString((*records)[i]).c_str());
+    }
+    if (n < records->size()) {
+        std::printf("... (%llu more)\n",
+                    static_cast<unsigned long long>(records->size() -
+                                                    n));
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) return usage();
+    std::string cmd = argv[1];
+    if (cmd == "list") return cmdList();
+    if (cmd == "gen" && (argc == 4 || argc == 5)) {
+        std::uint64_t instrs =
+            argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 250000;
+        return cmdGen(argv[2], argv[3], instrs ? instrs : 250000);
+    }
+    if (cmd == "info" && argc == 3) return cmdInfo(argv[2]);
+    if (cmd == "dump" && (argc == 3 || argc == 4)) {
+        std::uint64_t count =
+            argc == 4 ? std::strtoull(argv[3], nullptr, 10) : 20;
+        return cmdDump(argv[2], count);
+    }
+    return usage();
+}

@@ -4,7 +4,7 @@
  * Shared helpers for the paper-reproduction benchmark binaries.
  *
  * Every bench prints the rows of one table/figure from the paper
- * (DESIGN.md maps artifact -> binary). Scale via LBA_BENCH_INSTRS
+ * (docs/BENCHMARKS.md maps artifact -> binary). Scale via LBA_BENCH_INSTRS
  * (dynamic instructions per benchmark; default 250k, the paper ran
  * ~209M — slowdowns are per-instruction rates, so the shape is
  * scale-invariant, which ablation_scaling verifies).

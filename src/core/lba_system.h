@@ -24,6 +24,8 @@
  * account transport bandwidth (< 1 byte/instruction claim); records are
  * handed to the dispatch engine functionally (the compressor's exact
  * invertibility is covered by tests and the compression benches).
+ *
+ * docs/ARCHITECTURE.md walks this pipeline and timing model in prose.
  */
 
 #include <deque>

@@ -18,7 +18,8 @@
  * (AddrCheck, LockSet). TaintCheck is NOT shardable this way: its
  * register-taint state serializes the whole instruction stream — which is
  * precisely why the paper lists lifeguard parallelization as ongoing
- * research rather than a solved problem.
+ * research rather than a solved problem. See docs/ARCHITECTURE.md
+ * ("The parallel-lifeguard extension") and bench/ablation_parallel.cc.
  */
 
 #include <functional>

@@ -11,6 +11,9 @@
  *   std::cout << lba.slowdown << "x, findings: "
  *             << lba.findings.size() << '\n';
  * @endcode
+ *
+ * examples/quickstart.cpp is a complete worked example; the platforms
+ * being compared are described in docs/ARCHITECTURE.md.
  */
 
 #include <functional>

@@ -25,6 +25,7 @@
  *
  * The same Lifeguard instance as on LBA consumes the same event records,
  * so findings are platform-independent; only the cost accounting differs.
+ * See docs/ARCHITECTURE.md ("The DBI baseline").
  */
 
 #include <memory>

@@ -9,6 +9,8 @@
  * *simulated cost* — handler instruction counts and metadata memory
  * accesses — through a CostSink, exactly mirroring the paper's own
  * methodology of event-driven lifeguard execution on a modelled core.
+ * examples/custom_lifeguard.cpp shows how to write one against this
+ * interface; docs/ARCHITECTURE.md describes where it sits in the system.
  *
  * The same Lifeguard instance runs unchanged on both platforms:
  *  - LBA: the dispatch engine on the lifeguard core feeds it records from

@@ -11,6 +11,9 @@
  * lifeguard falls too far behind. Each entry carries the cycle at which
  * the producing core appended it so the coupled timing model can honour
  * "a record cannot be consumed before it was produced".
+ *
+ * The produce/start/finish recurrence that consumes this buffer is
+ * documented in core/lba_system.h and docs/ARCHITECTURE.md.
  */
 
 #include <cstdint>

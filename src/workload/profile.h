@@ -22,7 +22,7 @@
  *
  * The numbers are calibrated from the public characterization of these
  * applications (SPEC/benchmark literature), not measured from the
- * originals; DESIGN.md documents this substitution.
+ * originals; docs/BENCHMARKS.md documents this substitution.
  */
 
 #include <cstdint>

@@ -215,7 +215,9 @@ TEST_P(HeapFuzz, NoOverlapNoLossUnderRandomWorkload)
             ASSERT_EQ(a % 16, 0u);
             // No overlap with any live block.
             auto next = live.lower_bound(a);
-            if (next != live.end()) ASSERT_LE(a + rounded, next->first);
+            if (next != live.end()) {
+                ASSERT_LE(a + rounded, next->first);
+            }
             if (next != live.begin()) {
                 auto prev = std::prev(next);
                 ASSERT_LE(prev->first + prev->second, a);

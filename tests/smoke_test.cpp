@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Build-level smoke tests: run the lba_run and lba_trace tools
+ * end-to-end on a tiny workload, once per lifeguard, and assert they
+ * exit 0 — so tool-level regressions (argument parsing, report
+ * printing, trace I/O) are caught by tier-1 even when the library
+ * suites still pass.
+ *
+ * Tool binary paths are injected by CMake via LBA_RUN_PATH /
+ * LBA_TRACE_PATH; without them (e.g. a non-CMake build) the suite
+ * skips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace {
+
+#ifndef LBA_RUN_PATH
+#define LBA_RUN_PATH ""
+#endif
+#ifndef LBA_TRACE_PATH
+#define LBA_TRACE_PATH ""
+#endif
+
+/** Runs @p command, returns its exit status (-1 on spawn failure). */
+int
+runCommand(const std::string& command)
+{
+    int status = std::system(command.c_str());
+#if defined(_WIN32)
+    return status;
+#else
+    if (status == -1 || !WIFEXITED(status)) {
+        return -1;
+    }
+    return WEXITSTATUS(status);
+#endif
+}
+
+class SmokeTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (std::string(LBA_RUN_PATH).empty()) {
+            GTEST_SKIP() << "tool paths not configured";
+        }
+    }
+};
+
+TEST_F(SmokeTest, LbaRunEachLifeguardExitsZero)
+{
+    for (const char* lifeguard : {"addrcheck", "taintcheck", "lockset"}) {
+        std::string cmd = std::string(LBA_RUN_PATH) + " gzip " + lifeguard +
+                          " --instrs 20000 >/dev/null 2>&1";
+        EXPECT_EQ(runCommand(cmd), 0) << "lifeguard: " << lifeguard;
+    }
+}
+
+TEST_F(SmokeTest, LbaRunBothPlatformsWithInjectedBug)
+{
+    std::string cmd = std::string(LBA_RUN_PATH) +
+                      " gzip addrcheck --instrs 20000 --platform both"
+                      " --bugs uaf >/dev/null 2>&1";
+    EXPECT_EQ(runCommand(cmd), 0);
+}
+
+TEST_F(SmokeTest, LbaRunRejectsUnknownBenchmark)
+{
+    std::string cmd = std::string(LBA_RUN_PATH) +
+                      " no-such-benchmark addrcheck >/dev/null 2>&1";
+    EXPECT_NE(runCommand(cmd), 0);
+}
+
+TEST_F(SmokeTest, LbaTraceGenInfoDumpRoundTrip)
+{
+    std::string trace = ::testing::TempDir() + "smoke_test.lbat";
+    std::string base = std::string(LBA_TRACE_PATH);
+    EXPECT_EQ(runCommand(base + " gen gzip " + trace +
+                         " 20000 >/dev/null 2>&1"),
+              0);
+    EXPECT_EQ(runCommand(base + " info " + trace + " >/dev/null 2>&1"), 0);
+    EXPECT_EQ(runCommand(base + " dump " + trace + " 16 >/dev/null 2>&1"),
+              0);
+    std::remove(trace.c_str());
+}
+
+} // namespace

@@ -26,7 +26,8 @@ main()
     core::Experiment exp(generated.program);
 
     stats::Table table({"transport (B/cycle)", "compressed",
-                        "uncompressed (24 B/rec)"});
+                        "uncompressed (24 B/rec)",
+                        "compressed, 2 shards"});
     for (double bw : {0.5, 1.0, 2.0, 4.0, 8.0}) {
         core::LbaConfig on = exp.config().lba;
         on.compress = true;
@@ -38,14 +39,22 @@ main()
         off.transport_bytes_per_cycle = bw;
         auto without = exp.runLba(bench::makeAddrCheck(), off);
 
+        // Same knob through the unified engine's parallel face: each
+        // shard gets its own bw-limited transport link.
+        auto split = exp.runParallelLba(
+            bench::makeAddrCheck(), core::ParallelLbaConfig(on, 2));
+
         table.addRow({stats::formatDouble(bw, 1),
                       stats::formatSlowdown(with.slowdown),
-                      stats::formatSlowdown(without.slowdown)});
+                      stats::formatSlowdown(without.slowdown),
+                      stats::formatSlowdown(split.slowdown)});
     }
     core::LbaConfig unlimited = exp.config().lba;
     auto free_bw = exp.runLba(bench::makeAddrCheck(), unlimited);
+    auto free_split = exp.runParallelLba(bench::makeAddrCheck(), 2);
     table.addRow({"unlimited", stats::formatSlowdown(free_bw.slowdown),
-                  stats::formatSlowdown(free_bw.slowdown)});
+                  stats::formatSlowdown(free_bw.slowdown),
+                  stats::formatSlowdown(free_split.slowdown)});
     std::printf("%s\n", table.toString().c_str());
     std::printf("compressed log: %.3f bytes/record\n",
                 free_bw.lba.bytes_per_record);

@@ -34,17 +34,35 @@ main()
         auto generated = workload::generate(
             *workload::findProfile(c.benchmark), {}, instrs);
         core::Experiment exp(generated.program);
-        stats::Table table(
-            {"lifeguard cores", "slowdown", "speedup vs 1 core"});
+        stats::Table table({"lifeguard cores", "slowdown",
+                            "speedup vs 1 core", "B/record",
+                            "per-shard occupancy"});
         double base = 0;
         for (unsigned shards : {1u, 2u, 4u}) {
             auto result =
                 exp.runParallelLba(c.factory, shards);
             if (shards == 1) base = result.slowdown;
+            // Occupancy: the fraction of the run each shard's core
+            // spent consuming records (unified-engine per-lane stats).
+            std::string occupancy;
+            for (unsigned s = 0; s < shards; ++s) {
+                if (s) occupancy += "/";
+                occupancy += stats::formatDouble(
+                    100.0 *
+                        static_cast<double>(
+                            result.parallel.shard_busy_cycles[s]) /
+                        static_cast<double>(
+                            result.parallel.total_cycles),
+                    0);
+                occupancy += "%";
+            }
             table.addRow({std::to_string(shards),
                           stats::formatSlowdown(result.slowdown),
                           stats::formatDouble(base / result.slowdown,
-                                              2)});
+                                              2),
+                          stats::formatDouble(
+                              result.parallel.bytes_per_record, 3),
+                          occupancy});
         }
         std::printf("%s on %s\n%s\n", c.lifeguard, c.benchmark,
                     table.toString().c_str());

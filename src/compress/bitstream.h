@@ -141,4 +141,22 @@ zigzagDecode(std::uint64_t value)
            -static_cast<std::int64_t>(value & 1);
 }
 
+/**
+ * Zigzag-mapped delta of two unsigned values. The subtraction wraps mod
+ * 2^64 (signed subtraction of arbitrary 64-bit values would overflow),
+ * which zigzagApply inverts exactly.
+ */
+inline std::uint64_t
+zigzagDelta(std::uint64_t value, std::uint64_t base)
+{
+    return zigzagEncode(static_cast<std::int64_t>(value - base));
+}
+
+/** Inverse of zigzagDelta: reapply a decoded delta to the base. */
+inline std::uint64_t
+zigzagApply(std::uint64_t base, std::uint64_t delta)
+{
+    return base + static_cast<std::uint64_t>(zigzagDecode(delta));
+}
+
 } // namespace lba::compress

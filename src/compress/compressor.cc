@@ -76,12 +76,8 @@ LogCompressor::append(const EventRecord& record)
         LBA_ASSERT(type_index < 8, "bad annotation type");
         writer_.writeBits(type_index, 3);
         auto& last = bank_.annotation[type_index];
-        writer_.writeVarint(zigzagEncode(
-            static_cast<std::int64_t>(record.addr) -
-            static_cast<std::int64_t>(last.addr)));
-        writer_.writeVarint(zigzagEncode(
-            static_cast<std::int64_t>(record.aux) -
-            static_cast<std::int64_t>(last.aux)));
+        writer_.writeVarint(zigzagDelta(record.addr, last.addr));
+        writer_.writeVarint(zigzagDelta(record.aux, last.aux));
         last.addr = record.addr;
         last.aux = record.aux;
         take(field_bits_.annotation);
@@ -101,9 +97,8 @@ LogCompressor::append(const EventRecord& record)
       case PcPredictor::Source::kMiss:
         writer_.writeBit(true);
         writer_.writeBit(true);
-        writer_.writeVarint(zigzagEncode(
-            static_cast<std::int64_t>(record.pc) -
-            static_cast<std::int64_t>(bank_.pc.missBase(record.tid))));
+        writer_.writeVarint(
+            zigzagDelta(record.pc, bank_.pc.missBase(record.tid)));
         break;
     }
     bank_.pc.update(record.tid, record.pc);
@@ -139,10 +134,8 @@ LogCompressor::append(const EventRecord& record)
           case StridePredictor::Source::kMiss:
             writer_.writeBit(true);
             writer_.writeBit(true);
-            writer_.writeVarint(zigzagEncode(
-                static_cast<std::int64_t>(record.addr) -
-                static_cast<std::int64_t>(
-                    bank_.mem_addr.missBase(record.pc))));
+            writer_.writeVarint(zigzagDelta(
+                record.addr, bank_.mem_addr.missBase(record.pc)));
             break;
         }
         bank_.mem_addr.update(record.pc, record.addr);
@@ -155,9 +148,8 @@ LogCompressor::append(const EventRecord& record)
                 writer_.writeBit(true);
             } else {
                 writer_.writeBit(false);
-                writer_.writeVarint(zigzagEncode(
-                    static_cast<std::int64_t>(record.addr) -
-                    static_cast<std::int64_t>(record.pc)));
+                writer_.writeVarint(
+                    zigzagDelta(record.addr, record.pc));
             }
             bank_.ctrl_target.update(record.pc, record.addr);
         }
@@ -186,12 +178,8 @@ LogDecompressor::next()
         record.type = static_cast<EventType>(
             static_cast<unsigned>(EventType::kAlloc) + type_index);
         auto& last = bank_.annotation[type_index];
-        record.addr = static_cast<Addr>(
-            static_cast<std::int64_t>(last.addr) +
-            zigzagDecode(reader_.readVarint()));
-        record.aux = static_cast<std::uint64_t>(
-            static_cast<std::int64_t>(last.aux) +
-            zigzagDecode(reader_.readVarint()));
+        record.addr = zigzagApply(last.addr, reader_.readVarint());
+        record.aux = zigzagApply(last.aux, reader_.readVarint());
         last.addr = record.addr;
         last.aux = record.aux;
         return record;
@@ -205,9 +193,8 @@ LogDecompressor::next()
         record.pc =
             bank_.pc.resolve(record.tid, PcPredictor::Source::kContext);
     } else {
-        record.pc = static_cast<Addr>(
-            static_cast<std::int64_t>(bank_.pc.missBase(record.tid)) +
-            zigzagDecode(reader_.readVarint()));
+        record.pc = zigzagApply(bank_.pc.missBase(record.tid),
+                                reader_.readVarint());
     }
     bank_.pc.update(record.tid, record.pc);
 
@@ -241,10 +228,8 @@ LogDecompressor::next()
             record.addr = bank_.mem_addr.resolve(
                 record.pc, StridePredictor::Source::kLast);
         } else {
-            record.addr = static_cast<Addr>(
-                static_cast<std::int64_t>(
-                    bank_.mem_addr.missBase(record.pc)) +
-                zigzagDecode(reader_.readVarint()));
+            record.addr = zigzagApply(bank_.mem_addr.missBase(record.pc),
+                                      reader_.readVarint());
         }
         bank_.mem_addr.update(record.pc, record.addr);
         record.aux = isa::memAccessBytes(op);
@@ -255,9 +240,8 @@ LogDecompressor::next()
             if (reader_.readBit()) {
                 record.addr = bank_.ctrl_target.resolve(record.pc);
             } else {
-                record.addr = static_cast<Addr>(
-                    static_cast<std::int64_t>(record.pc) +
-                    zigzagDecode(reader_.readVarint()));
+                record.addr =
+                    zigzagApply(record.pc, reader_.readVarint());
             }
             bank_.ctrl_target.update(record.pc, record.addr);
         }

@@ -161,8 +161,10 @@ class StridePredictor
     {
         Entry& e = table_[pc];
         if (e.seen) {
-            e.stride = static_cast<std::int64_t>(actual) -
-                       static_cast<std::int64_t>(e.last);
+            // Wrap-around subtraction: signed subtraction of arbitrary
+            // 64-bit addresses overflows; the predictor only ever adds
+            // the stride back mod 2^64, so wrapping is exact.
+            e.stride = static_cast<std::int64_t>(actual - e.last);
         }
         e.last = actual;
         e.seen = true;

@@ -1,155 +1,42 @@
 /**
  * @file
- * LBA system implementation.
+ * LBA system implementation: the single-lane PipelineTimer instantiation.
  */
 
 #include "core/lba_system.h"
 
-#include <algorithm>
-
-#include "common/assert.h"
-
 namespace lba::core {
-
-using log::EventRecord;
-using log::EventType;
 
 LbaSystem::LbaSystem(lifeguard::Lifeguard& lifeguard,
                      mem::CacheHierarchy& hierarchy,
                      const LbaConfig& config)
-    : hierarchy_(hierarchy),
-      config_(config),
-      buffer_(config.buffer_capacity),
-      dispatch_(lifeguard, hierarchy, config.dispatch)
+    : timer_(hierarchy, config, {&lifeguard})
 {
-    LBA_ASSERT(hierarchy.config().num_cores >= 2,
-               "LBA needs an application core and a lifeguard core");
-    LBA_ASSERT(config.app_core != config.dispatch.core,
-               "application and lifeguard must use different cores");
-}
-
-bool
-LbaSystem::filtered(const EventRecord& record) const
-{
-    if (!config_.filter_enabled) return false;
-    if (record.type != EventType::kLoad &&
-        record.type != EventType::kStore) {
-        return false;
-    }
-    return record.addr < config_.filter_base ||
-           record.addr >= config_.filter_base + config_.filter_bytes;
-}
-
-void
-LbaSystem::logRecord(const EventRecord& record)
-{
-    if (filtered(record)) {
-        ++stats_.records_filtered;
-        return;
-    }
-
-    // Bandwidth accounting: compressed records cost their true encoded
-    // size; uncompressed transport pays the full record width.
-    double record_bytes = config_.raw_record_bytes;
-    if (config_.compress) {
-        std::uint64_t before = compressor_.bits();
-        compressor_.append(record);
-        record_bytes =
-            static_cast<double>(compressor_.bits() - before) / 8.0;
-    }
-    stats_.transport_bytes += record_bytes;
-
-    // Back-pressure: the slot for this record frees when the record
-    // capacity-entries ago has been consumed.
-    if (slot_finish_.size() >= buffer_.capacity()) {
-        Cycles freed_at = slot_finish_.front();
-        slot_finish_.pop_front();
-        if (app_time_ < freed_at) {
-            stats_.backpressure_stall_cycles += freed_at - app_time_;
-            app_time_ = freed_at;
-        }
-        // The functional buffer mirrors the slot accounting.
-        log::LogBuffer::Entry drained;
-        bool ok = buffer_.pop(&drained);
-        LBA_ASSERT(ok, "slot accounting out of sync with buffer");
-    }
-
-    Cycles produced_at = app_time_;
-    bool pushed = buffer_.push(record, produced_at);
-    LBA_ASSERT(pushed, "buffer full after slot accounting");
-
-    // The record is visible to the dispatch engine only after its bytes
-    // have crossed the (possibly bandwidth-limited) transport.
-    Cycles delivered_at = produced_at;
-    if (config_.transport_bytes_per_cycle > 0.0) {
-        transport_free_ =
-            std::max(transport_free_, static_cast<double>(produced_at)) +
-            record_bytes / config_.transport_bytes_per_cycle;
-        delivered_at = static_cast<Cycles>(transport_free_);
-        if (delivered_at > produced_at) {
-            stats_.transport_wait_cycles +=
-                delivered_at - produced_at;
-        }
-    }
-
-    Cycles start = std::max(delivered_at, last_finish_);
-    consume_lag_.record(static_cast<double>(start - produced_at));
-    Cycles cost = dispatch_.consume(record);
-    last_finish_ = start + cost;
-    slot_finish_.push_back(last_finish_);
-    ++stats_.records_logged;
 }
 
 void
 LbaSystem::onRetire(const sim::Retired& retired)
 {
-    if (pending_drain_) {
-        pending_drain_ = false;
-        ++stats_.syscall_drains;
-        if (app_time_ < last_finish_) {
-            stats_.syscall_stall_cycles += last_finish_ - app_time_;
-            app_time_ = last_finish_;
-        }
-    }
-
-    ++stats_.app_instructions;
-    Cycles cost = 1 + hierarchy_.instrFetch(config_.app_core, retired.pc);
-    if (retired.mem_bytes > 0) {
-        cost += hierarchy_.dataAccess(config_.app_core, retired.mem_addr,
-                                      retired.mem_is_write);
-    }
-    app_time_ += cost;
-    stats_.app_cycles += cost;
-
-    logRecord(log::CaptureUnit::makeRecord(retired));
-
-    if (config_.syscall_stall && retired.is_syscall) {
+    timer_.retire(retired);
+    timer_.log(log::CaptureUnit::makeRecord(retired), 0);
+    if (retired.is_syscall) {
         // The OS stalls the syscall until the lifeguard has checked all
         // prior log entries; applied before the next retirement so the
         // annotation records emitted by this syscall are drained too.
-        pending_drain_ = true;
+        timer_.noteSyscall();
     }
 }
 
 void
 LbaSystem::onOsEvent(const sim::OsEvent& event)
 {
-    logRecord(log::CaptureUnit::makeRecord(event));
+    timer_.log(log::CaptureUnit::makeRecord(event), 0);
 }
 
 void
 LbaSystem::finish()
 {
-    LBA_ASSERT(!finished_, "finish() called twice");
-    finished_ = true;
-
-    Cycles final_time = std::max(app_time_, last_finish_);
-    final_time += dispatch_.finish();
-
-    stats_.total_cycles = final_time;
-    stats_.lifeguard_busy_cycles = dispatch_.stats().total_cycles;
-    stats_.bytes_per_record = compressor_.bytesPerRecord();
-    stats_.mean_consume_lag = consume_lag_.mean();
+    timer_.finishAll();
 }
 
 } // namespace lba::core

@@ -25,78 +25,16 @@
  * handed to the dispatch engine functionally (the compressor's exact
  * invertibility is covered by tests and the compression benches).
  *
- * docs/ARCHITECTURE.md walks this pipeline and timing model in prose.
+ * The recurrence itself lives in core::PipelineTimer (which also drives
+ * the parallel system as its N-lane generalisation); LbaSystem is the
+ * single-lane instantiation. docs/ARCHITECTURE.md walks this pipeline
+ * and timing model in prose.
  */
 
-#include <deque>
-#include <memory>
-
-#include "compress/compressor.h"
-#include "lifeguard/dispatch.h"
+#include "core/pipeline_timer.h"
 #include "log/capture.h"
-#include "log/log_buffer.h"
-#include "mem/hierarchy.h"
-#include "sim/process.h"
-#include "stats/counter.h"
 
 namespace lba::core {
-
-/** LBA platform configuration. */
-struct LbaConfig
-{
-    /** Log buffer capacity, in records. */
-    std::size_t buffer_capacity = 64 * 1024;
-    /** Application core index. */
-    unsigned app_core = 0;
-    /** Dispatch configuration (lifeguard core index, nlba cost). */
-    lifeguard::DispatchConfig dispatch{1, 1};
-    /** Stall syscalls until the log drains (error containment). */
-    bool syscall_stall = true;
-    /** Run the compressor for bandwidth accounting. */
-    bool compress = true;
-    /** Address-range record filter (paper Section 3 future work). */
-    bool filter_enabled = false;
-    Addr filter_base = 0;
-    std::uint64_t filter_bytes = 0;
-    /**
-     * Log-transport bandwidth in bytes/cycle through the cache
-     * hierarchy (0 = unlimited). With a finite bandwidth, a record can
-     * only be consumed once its (compressed) bytes have crossed the
-     * transport — this is where the < 1 byte/instruction compression
-     * pays off (paper Section 2: compression "reduce[s] the bandwidth
-     * pressure and buffer requirements on the log transport medium").
-     */
-    double transport_bytes_per_cycle = 0.0;
-    /** Record size on the transport when compression is disabled. */
-    unsigned raw_record_bytes = 24;
-};
-
-/** Timing/traffic statistics of one LBA run. */
-struct LbaRunStats
-{
-    std::uint64_t app_instructions = 0;
-    std::uint64_t records_logged = 0;
-    std::uint64_t records_filtered = 0;
-    Cycles total_cycles = 0;
-    /** The application's own execution cycles (CPI + cache penalties). */
-    Cycles app_cycles = 0;
-    /** Cycles the application stalled on a full log buffer. */
-    Cycles backpressure_stall_cycles = 0;
-    /** Cycles the application stalled draining the log at syscalls. */
-    Cycles syscall_stall_cycles = 0;
-    /** Cycles the lifeguard core spent consuming records. */
-    Cycles lifeguard_busy_cycles = 0;
-    /** Compressed log size, bytes per logged record. */
-    double bytes_per_record = 0.0;
-    /** Mean cycles between record production and consumption start. */
-    double mean_consume_lag = 0.0;
-    /** Number of syscalls that triggered a containment drain. */
-    std::uint64_t syscall_drains = 0;
-    /** Total bytes pushed onto the log transport. */
-    double transport_bytes = 0.0;
-    /** Cycles consumption waited on transport bandwidth. */
-    Cycles transport_wait_cycles = 0;
-};
 
 /**
  * The LBA monitoring platform: a RetireObserver that owns the capture,
@@ -123,54 +61,29 @@ class LbaSystem : public sim::RetireObserver
     void finish();
 
     /** Statistics (valid after finish()). */
-    const LbaRunStats& stats() const { return stats_; }
+    const LbaRunStats& stats() const { return timer_.stats(); }
 
     /** Log-buffer occupancy statistics. */
     const log::LogBufferStats& bufferStats() const
     {
-        return buffer_.stats();
+        return timer_.bufferStats(0);
     }
 
     /** Per-event-type dispatch statistics. */
     const lifeguard::DispatchStats& dispatchStats() const
     {
-        return dispatch_.stats();
+        return timer_.dispatchStats(0);
     }
 
     const compress::LogCompressor& compressor() const
     {
-        return compressor_;
+        return timer_.compressor();
     }
 
-    lifeguard::Lifeguard& lifeguard() { return dispatch_.lifeguard(); }
+    lifeguard::Lifeguard& lifeguard() { return timer_.lifeguard(0); }
 
   private:
-    /** True when the filter drops this record. */
-    bool filtered(const log::EventRecord& record) const;
-
-    /** Push one record through buffer timing + dispatch. */
-    void logRecord(const log::EventRecord& record);
-
-    mem::CacheHierarchy& hierarchy_;
-    LbaConfig config_;
-    compress::LogCompressor compressor_;
-    log::LogBuffer buffer_;
-    lifeguard::DispatchEngine dispatch_;
-
-    /** Application core clock. */
-    Cycles app_time_ = 0;
-    /** finish(i) of the most recently consumed record. */
-    Cycles last_finish_ = 0;
-    /** finish times of records still occupying buffer slots. */
-    std::deque<Cycles> slot_finish_;
-    /** Containment drain is applied before the next retirement. */
-    bool pending_drain_ = false;
-    /** Cycle at which the transport finishes delivering the last byte. */
-    double transport_free_ = 0.0;
-
-    stats::Summary consume_lag_;
-    LbaRunStats stats_;
-    bool finished_ = false;
+    PipelineTimer timer_;
 };
 
 } // namespace lba::core

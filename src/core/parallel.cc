@@ -1,6 +1,7 @@
 /**
  * @file
- * Parallel LBA implementation.
+ * Parallel LBA implementation: routing on top of the shared timing
+ * engine (core::PipelineTimer); one engine lane per shard.
  */
 
 #include "core/parallel.h"
@@ -8,7 +9,6 @@
 #include <algorithm>
 
 #include "common/assert.h"
-#include "log/capture.h"
 
 namespace lba::core {
 
@@ -18,23 +18,16 @@ using log::EventType;
 ParallelLbaSystem::ParallelLbaSystem(const Factory& factory,
                                      mem::CacheHierarchy& hierarchy,
                                      const ParallelLbaConfig& config)
-    : hierarchy_(hierarchy), config_(config)
 {
     LBA_ASSERT(config.shards >= 1, "need at least one shard");
-    LBA_ASSERT(hierarchy.config().num_cores >= config.shards + 1,
-               "hierarchy must provide one core per shard plus the app");
+    std::vector<lifeguard::Lifeguard*> lanes;
     for (unsigned s = 0; s < config.shards; ++s) {
-        Lane lane;
-        lane.lifeguard = factory();
-        LBA_ASSERT(lane.lifeguard != nullptr,
+        lifeguards_.push_back(factory());
+        LBA_ASSERT(lifeguards_.back() != nullptr,
                    "lifeguard factory returned null");
-        lifeguard::DispatchConfig dc{config.dispatch_cycles,
-                                     config.app_core + 1 + s};
-        lane.dispatch = std::make_unique<lifeguard::DispatchEngine>(
-            *lane.lifeguard, hierarchy, dc);
-        lanes_.push_back(std::move(lane));
+        lanes.push_back(lifeguards_.back().get());
     }
-    stats_.shard_busy_cycles.assign(config.shards, 0);
+    timer_ = std::make_unique<PipelineTimer>(hierarchy, config, lanes);
 }
 
 unsigned
@@ -44,7 +37,8 @@ ParallelLbaSystem::route(const EventRecord& record)
       case EventType::kLoad:
       case EventType::kStore:
         // Address partition: 64-byte regions interleaved across shards.
-        return static_cast<unsigned>((record.addr >> 6) % lanes_.size());
+        return static_cast<unsigned>((record.addr >> 6) %
+                                     lifeguards_.size());
       case EventType::kAlloc:
       case EventType::kFree:
       case EventType::kInput:
@@ -53,94 +47,57 @@ ParallelLbaSystem::route(const EventRecord& record)
       case EventType::kUnlock:
       case EventType::kThreadSpawn:
       case EventType::kThreadExit:
-        return kBroadcast;
+        return PipelineTimer::kBroadcast;
       default:
-        return static_cast<unsigned>(round_robin_++ % lanes_.size());
+        return static_cast<unsigned>(round_robin_++ %
+                                     lifeguards_.size());
     }
-}
-
-void
-ParallelLbaSystem::logRecord(const EventRecord& record)
-{
-    if (config_.compress) compressor_.append(record);
-
-    if (slot_finish_.size() >= config_.buffer_capacity) {
-        Cycles freed_at = slot_finish_.front();
-        slot_finish_.pop_front();
-        if (app_time_ < freed_at) {
-            stats_.backpressure_stall_cycles += freed_at - app_time_;
-            app_time_ = freed_at;
-        }
-    }
-
-    Cycles produced_at = app_time_;
-    unsigned target = route(record);
-    Cycles finish = 0;
-    if (target == kBroadcast) {
-        for (Lane& lane : lanes_) {
-            Cycles start = std::max(produced_at, lane.last_finish);
-            lane.last_finish = start + lane.dispatch->consume(record);
-            finish = std::max(finish, lane.last_finish);
-        }
-    } else {
-        Lane& lane = lanes_[target];
-        Cycles start = std::max(produced_at, lane.last_finish);
-        lane.last_finish = start + lane.dispatch->consume(record);
-        finish = lane.last_finish;
-    }
-    slot_finish_.push_back(finish);
-    ++stats_.records_logged;
 }
 
 void
 ParallelLbaSystem::onRetire(const sim::Retired& retired)
 {
-    if (pending_drain_) {
-        pending_drain_ = false;
-        Cycles drained = 0;
-        for (const Lane& lane : lanes_) {
-            drained = std::max(drained, lane.last_finish);
-        }
-        if (app_time_ < drained) {
-            stats_.syscall_stall_cycles += drained - app_time_;
-            app_time_ = drained;
-        }
-    }
-
-    ++stats_.app_instructions;
-    Cycles cost = 1 + hierarchy_.instrFetch(config_.app_core, retired.pc);
-    if (retired.mem_bytes > 0) {
-        cost += hierarchy_.dataAccess(config_.app_core, retired.mem_addr,
-                                      retired.mem_is_write);
-    }
-    app_time_ += cost;
-    stats_.app_cycles += cost;
-
-    logRecord(log::CaptureUnit::makeRecord(retired));
-    if (config_.syscall_stall && retired.is_syscall) {
-        pending_drain_ = true;
+    timer_->retire(retired);
+    log::EventRecord record = log::CaptureUnit::makeRecord(retired);
+    timer_->log(record, route(record));
+    if (retired.is_syscall) {
+        // Same containment ordering as the serial system: the drain is
+        // armed after the syscall record itself is logged and applied
+        // before the next retirement, so the annotation records emitted
+        // by this syscall's onOsEvent are drained too.
+        timer_->noteSyscall();
     }
 }
 
 void
 ParallelLbaSystem::onOsEvent(const sim::OsEvent& event)
 {
-    logRecord(log::CaptureUnit::makeRecord(event));
+    log::EventRecord record = log::CaptureUnit::makeRecord(event);
+    timer_->log(record, route(record));
 }
 
 void
 ParallelLbaSystem::finish()
 {
-    Cycles final_time = app_time_;
-    Cycles finish_cost = 0;
-    for (std::size_t s = 0; s < lanes_.size(); ++s) {
-        final_time = std::max(final_time, lanes_[s].last_finish);
-        finish_cost = std::max(finish_cost, lanes_[s].dispatch->finish());
-        stats_.shard_busy_cycles[s] =
-            lanes_[s].dispatch->stats().total_cycles;
+    timer_->finishAll();
+    static_cast<LbaRunStats&>(stats_) = timer_->stats();
+    unsigned n = timer_->lanes();
+    stats_.shard_busy_cycles.resize(n);
+    stats_.shard_records.resize(n);
+    stats_.shard_consume_lag.resize(n);
+    stats_.shard_transport_bytes.resize(n);
+    stats_.shard_transport_wait_cycles.resize(n);
+    stats_.shard_max_occupancy.resize(n);
+    for (unsigned s = 0; s < n; ++s) {
+        stats_.shard_busy_cycles[s] = timer_->laneBusyCycles(s);
+        stats_.shard_records[s] = timer_->laneRecords(s);
+        stats_.shard_consume_lag[s] = timer_->laneMeanConsumeLag(s);
+        stats_.shard_transport_bytes[s] = timer_->laneTransportBytes(s);
+        stats_.shard_transport_wait_cycles[s] =
+            timer_->laneTransportWaitCycles(s);
+        stats_.shard_max_occupancy[s] =
+            timer_->bufferStats(s).max_occupancy;
     }
-    stats_.total_cycles = final_time + finish_cost;
-    stats_.bytes_per_record = compressor_.bytesPerRecord();
 }
 
 std::vector<lifeguard::Finding>
@@ -160,8 +117,8 @@ ParallelLbaSystem::allFindings() const
         }
         return false;
     };
-    for (const Lane& lane : lanes_) {
-        for (const auto& f : lane.lifeguard->findings()) {
+    for (const auto& guard : lifeguards_) {
+        for (const auto& f : guard->findings()) {
             if (!seen(f)) all.push_back(f);
         }
     }

@@ -14,6 +14,14 @@
  * handlers for shardable lifeguards are no-ops, so this only balances
  * dispatch cost).
  *
+ * Timing is the shared core::PipelineTimer engine with one lane per
+ * shard: each lane has its own log buffer, transport link and dispatch
+ * engine, so filtering, compression accounting, back-pressure, syscall
+ * containment and the consume-lag statistics behave identically to the
+ * serial LbaSystem — with shards=1 the two systems are cycle-identical
+ * by construction (asserted by tests/core_test.cpp's differential
+ * tests).
+ *
  * This partitioning preserves the semantics of per-address lifeguards
  * (AddrCheck, LockSet). TaintCheck is NOT shardable this way: its
  * register-taint state serializes the whole instruction stream — which is
@@ -26,37 +34,49 @@
 #include <memory>
 #include <vector>
 
-#include "compress/compressor.h"
-#include "core/lba_system.h"
-#include "lifeguard/dispatch.h"
-#include "mem/hierarchy.h"
-#include "sim/process.h"
+#include "core/pipeline_timer.h"
+#include "log/capture.h"
 
 namespace lba::core {
 
-/** Parallel LBA configuration. */
-struct ParallelLbaConfig
+/**
+ * Parallel LBA configuration: the full serial feature set (filtering,
+ * transport bandwidth, compression, containment) plus the shard count.
+ * Lane s consumes on core dispatch.core + s; buffer_capacity and
+ * transport_bytes_per_cycle apply per shard.
+ */
+struct ParallelLbaConfig : LbaConfig
 {
-    std::size_t buffer_capacity = 64 * 1024;
-    unsigned app_core = 0;
     /** Number of lifeguard cores; hierarchy needs shards+1 cores. */
     unsigned shards = 2;
-    Cycles dispatch_cycles = 1;
-    bool syscall_stall = true;
-    bool compress = true;
+
+    ParallelLbaConfig() = default;
+
+    /** Shard an existing serial configuration. */
+    ParallelLbaConfig(const LbaConfig& base, unsigned nshards)
+        : LbaConfig(base), shards(nshards)
+    {
+    }
 };
 
-/** Statistics for a parallel LBA run. */
-struct ParallelLbaStats
+/**
+ * Statistics for a parallel LBA run: the serial LbaRunStats aggregate
+ * (summed/merged across shards) plus per-shard breakdowns.
+ */
+struct ParallelLbaStats : LbaRunStats
 {
-    std::uint64_t app_instructions = 0;
-    std::uint64_t records_logged = 0;
-    Cycles total_cycles = 0;
-    Cycles app_cycles = 0;
-    Cycles backpressure_stall_cycles = 0;
-    Cycles syscall_stall_cycles = 0;
+    /** Cycles each shard's core spent consuming records. */
     std::vector<Cycles> shard_busy_cycles;
-    double bytes_per_record = 0.0;
+    /** Records each shard consumed (broadcasts count in every shard). */
+    std::vector<std::uint64_t> shard_records;
+    /** Mean produce-to-consume lag per shard. */
+    std::vector<double> shard_consume_lag;
+    /** Bytes that crossed each shard's transport link. */
+    std::vector<double> shard_transport_bytes;
+    /** Cycles each shard's consumption waited on its transport. */
+    std::vector<Cycles> shard_transport_wait_cycles;
+    /** Peak log-buffer occupancy per shard, in records. */
+    std::vector<std::uint64_t> shard_max_occupancy;
 };
 
 /**
@@ -87,29 +107,26 @@ class ParallelLbaSystem : public sim::RetireObserver
     /** Findings across all shards (detection order within a shard). */
     std::vector<lifeguard::Finding> allFindings() const;
 
-    unsigned shards() const { return static_cast<unsigned>(lanes_.size()); }
+    unsigned shards() const { return timer_->lanes(); }
+
+    /** One shard's log-buffer occupancy statistics. */
+    const log::LogBufferStats& bufferStats(unsigned shard) const
+    {
+        return timer_->bufferStats(shard);
+    }
+
+    /** One shard's per-event-type dispatch statistics. */
+    const lifeguard::DispatchStats& dispatchStats(unsigned shard) const
+    {
+        return timer_->dispatchStats(shard);
+    }
 
   private:
-    struct Lane
-    {
-        std::unique_ptr<lifeguard::Lifeguard> lifeguard;
-        std::unique_ptr<lifeguard::DispatchEngine> dispatch;
-        Cycles last_finish = 0;
-    };
-
     /** Route a record to its shard (kBroadcast for annotations). */
-    static constexpr unsigned kBroadcast = ~0u;
     unsigned route(const log::EventRecord& record);
 
-    void logRecord(const log::EventRecord& record);
-
-    mem::CacheHierarchy& hierarchy_;
-    ParallelLbaConfig config_;
-    compress::LogCompressor compressor_;
-    std::vector<Lane> lanes_;
-    std::deque<Cycles> slot_finish_;
-    Cycles app_time_ = 0;
-    bool pending_drain_ = false;
+    std::vector<std::unique_ptr<lifeguard::Lifeguard>> lifeguards_;
+    std::unique_ptr<PipelineTimer> timer_;
     std::uint64_t round_robin_ = 0;
     ParallelLbaStats stats_;
 };

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Shared LBA timing engine implementation.
+ */
+
+#include "core/pipeline_timer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace lba::core {
+
+using log::EventRecord;
+using log::EventType;
+
+PipelineTimer::PipelineTimer(
+    mem::CacheHierarchy& hierarchy, const LbaConfig& config,
+    const std::vector<lifeguard::Lifeguard*>& lifeguards)
+    : hierarchy_(hierarchy), config_(config)
+{
+    LBA_ASSERT(!lifeguards.empty(), "timer needs at least one lane");
+    unsigned nlanes = static_cast<unsigned>(lifeguards.size());
+    LBA_ASSERT(hierarchy.config().num_cores >=
+                   config.dispatch.core + nlanes,
+               "hierarchy must provide one core per lane plus the app");
+    LBA_ASSERT(config.app_core < config.dispatch.core ||
+                   config.app_core >= config.dispatch.core + nlanes,
+               "application and lifeguard must use different cores");
+
+    lanes_.reserve(nlanes);
+    for (unsigned i = 0; i < nlanes; ++i) {
+        LBA_ASSERT(lifeguards[i] != nullptr, "lane lifeguard is null");
+        Lane lane(config.buffer_capacity);
+        lane.lifeguard = lifeguards[i];
+        lifeguard::DispatchConfig dc = config.dispatch;
+        dc.core = config.dispatch.core + i;
+        lane.dispatch = std::make_unique<lifeguard::DispatchEngine>(
+            *lane.lifeguard, hierarchy, dc);
+        lanes_.push_back(std::move(lane));
+    }
+}
+
+bool
+PipelineTimer::filtered(const EventRecord& record) const
+{
+    if (!config_.filter_enabled) return false;
+    if (record.type != EventType::kLoad &&
+        record.type != EventType::kStore) {
+        return false;
+    }
+    return record.addr < config_.filter_base ||
+           record.addr >= config_.filter_base + config_.filter_bytes;
+}
+
+double
+PipelineTimer::transportCost(const EventRecord& record)
+{
+    // Bandwidth accounting: compressed records cost their true encoded
+    // size; uncompressed transport pays the full record width.
+    if (!config_.compress) return config_.raw_record_bytes;
+    std::uint64_t before = compressor_.bits();
+    compressor_.append(record);
+    return static_cast<double>(compressor_.bits() - before) / 8.0;
+}
+
+void
+PipelineTimer::reserveSlot(Lane& lane)
+{
+    // Back-pressure: the lane slot for this record frees when the lane's
+    // record capacity-entries ago has been consumed.
+    if (lane.slot_finish.size() < lane.buffer.capacity()) return;
+    Cycles freed_at = lane.slot_finish.front();
+    lane.slot_finish.pop_front();
+    if (app_time_ < freed_at) {
+        stats_.backpressure_stall_cycles += freed_at - app_time_;
+        app_time_ = freed_at;
+    }
+    // The functional buffer mirrors the slot accounting.
+    log::LogBuffer::Entry drained;
+    bool ok = lane.buffer.pop(&drained);
+    LBA_ASSERT(ok, "slot accounting out of sync with buffer");
+}
+
+void
+PipelineTimer::consumeOn(Lane& lane, const EventRecord& record,
+                         Cycles produced_at, double record_bytes)
+{
+    bool pushed = lane.buffer.push(record, produced_at);
+    LBA_ASSERT(pushed, "buffer full after slot accounting");
+    lane.transport_bytes += record_bytes;
+    stats_.transport_bytes += record_bytes;
+
+    // The record is visible to the dispatch engine only after its bytes
+    // have crossed the (possibly bandwidth-limited) transport. Ceiling:
+    // the last byte must have fully arrived, so delivery lands on the
+    // first cycle boundary at or after the transport completes.
+    Cycles delivered_at = produced_at;
+    if (config_.transport_bytes_per_cycle > 0.0) {
+        lane.transport_free =
+            std::max(lane.transport_free,
+                     static_cast<double>(produced_at)) +
+            record_bytes / config_.transport_bytes_per_cycle;
+        delivered_at = static_cast<Cycles>(std::ceil(lane.transport_free));
+        if (delivered_at > produced_at) {
+            lane.transport_wait_cycles += delivered_at - produced_at;
+            stats_.transport_wait_cycles += delivered_at - produced_at;
+        }
+    }
+
+    Cycles start = std::max(delivered_at, lane.last_finish);
+    double lag = static_cast<double>(start - produced_at);
+    lane.consume_lag.record(lag);
+    consume_lag_.record(lag);
+    Cycles cost = lane.dispatch->consume(record);
+    lane.last_finish = start + cost;
+    lane.slot_finish.push_back(lane.last_finish);
+    ++lane.records;
+}
+
+bool
+PipelineTimer::log(const EventRecord& record, unsigned lane)
+{
+    if (filtered(record)) {
+        ++stats_.records_filtered;
+        return false;
+    }
+    double record_bytes = transportCost(record);
+
+    // Reserve a slot in every target lane first: the application can
+    // only append the record once all of its consumers have room, so
+    // produce(i) reflects the back-pressure of the slowest target lane.
+    if (lane == kBroadcast) {
+        for (Lane& l : lanes_) reserveSlot(l);
+        Cycles produced_at = app_time_;
+        for (Lane& l : lanes_) {
+            consumeOn(l, record, produced_at, record_bytes);
+        }
+    } else {
+        LBA_ASSERT(lane < lanes_.size(), "record routed to bad lane");
+        reserveSlot(lanes_[lane]);
+        consumeOn(lanes_[lane], record, app_time_, record_bytes);
+    }
+    ++stats_.records_logged;
+    return true;
+}
+
+void
+PipelineTimer::retire(const sim::Retired& retired)
+{
+    if (pending_drain_) {
+        // Applied before this retirement's own cost, so the drain covers
+        // every record logged so far — including the annotation records
+        // the syscall's own onOsEvent handlers emitted.
+        pending_drain_ = false;
+        ++stats_.syscall_drains;
+        Cycles drained = 0;
+        for (const Lane& lane : lanes_) {
+            drained = std::max(drained, lane.last_finish);
+        }
+        if (app_time_ < drained) {
+            stats_.syscall_stall_cycles += drained - app_time_;
+            app_time_ = drained;
+        }
+    }
+
+    ++stats_.app_instructions;
+    Cycles cost = 1 + hierarchy_.instrFetch(config_.app_core, retired.pc);
+    if (retired.mem_bytes > 0) {
+        cost += hierarchy_.dataAccess(config_.app_core, retired.mem_addr,
+                                      retired.mem_is_write);
+    }
+    app_time_ += cost;
+    stats_.app_cycles += cost;
+}
+
+void
+PipelineTimer::noteSyscall()
+{
+    if (config_.syscall_stall) pending_drain_ = true;
+}
+
+void
+PipelineTimer::finishAll()
+{
+    LBA_ASSERT(!finished_, "finishAll() called twice");
+    finished_ = true;
+
+    // Each lane runs its end-of-program hook once the application has
+    // exited and the lane has consumed its last record; the cost lands
+    // on that lane's own clock (and its busy cycles via DispatchStats),
+    // so an expensive final pass on one shard does not charge the rest.
+    Cycles end = app_time_;
+    stats_.lifeguard_busy_cycles = 0;
+    for (Lane& lane : lanes_) {
+        Cycles fc = lane.dispatch->finish();
+        lane.last_finish = std::max(app_time_, lane.last_finish) + fc;
+        end = std::max(end, lane.last_finish);
+        stats_.lifeguard_busy_cycles += lane.dispatch->stats().total_cycles;
+    }
+    stats_.total_cycles = end;
+    stats_.bytes_per_record = compressor_.bytesPerRecord();
+    stats_.mean_consume_lag = consume_lag_.mean();
+}
+
+const log::LogBufferStats&
+PipelineTimer::bufferStats(unsigned lane) const
+{
+    LBA_ASSERT(lane < lanes_.size(), "bad lane index");
+    return lanes_[lane].buffer.stats();
+}
+
+const lifeguard::DispatchStats&
+PipelineTimer::dispatchStats(unsigned lane) const
+{
+    LBA_ASSERT(lane < lanes_.size(), "bad lane index");
+    return lanes_[lane].dispatch->stats();
+}
+
+lifeguard::Lifeguard&
+PipelineTimer::lifeguard(unsigned lane) const
+{
+    LBA_ASSERT(lane < lanes_.size(), "bad lane index");
+    return *lanes_[lane].lifeguard;
+}
+
+Cycles
+PipelineTimer::laneLastFinish(unsigned lane) const
+{
+    LBA_ASSERT(lane < lanes_.size(), "bad lane index");
+    return lanes_[lane].last_finish;
+}
+
+Cycles
+PipelineTimer::laneBusyCycles(unsigned lane) const
+{
+    LBA_ASSERT(lane < lanes_.size(), "bad lane index");
+    return lanes_[lane].dispatch->stats().total_cycles;
+}
+
+std::uint64_t
+PipelineTimer::laneRecords(unsigned lane) const
+{
+    LBA_ASSERT(lane < lanes_.size(), "bad lane index");
+    return lanes_[lane].records;
+}
+
+double
+PipelineTimer::laneMeanConsumeLag(unsigned lane) const
+{
+    LBA_ASSERT(lane < lanes_.size(), "bad lane index");
+    return lanes_[lane].consume_lag.mean();
+}
+
+double
+PipelineTimer::laneTransportBytes(unsigned lane) const
+{
+    LBA_ASSERT(lane < lanes_.size(), "bad lane index");
+    return lanes_[lane].transport_bytes;
+}
+
+Cycles
+PipelineTimer::laneTransportWaitCycles(unsigned lane) const
+{
+    LBA_ASSERT(lane < lanes_.size(), "bad lane index");
+    return lanes_[lane].transport_wait_cycles;
+}
+
+} // namespace lba::core

@@ -1,0 +1,234 @@
+#pragma once
+/**
+ * @file
+ * The shared LBA timing engine: one implementation of the
+ * produce/start/finish recurrence used by both the serial (LbaSystem)
+ * and the parallel (ParallelLbaSystem) platforms.
+ *
+ * A PipelineTimer owns one or more *lanes*. Each lane models one
+ * lifeguard core with its own dispatch engine, its own bounded log
+ * buffer, and its own bandwidth-limited transport link. For every record
+ * delivered to lane L we compute
+ *
+ *   produce(i)   = app core time after the instruction retires, delayed
+ *                  while any target lane's buffer is full (back-pressure);
+ *   deliver(i,L) = first cycle at or after the record's last (compressed)
+ *                  byte has crossed lane L's transport (ceiling — a record
+ *                  is never consumed before its bytes have arrived);
+ *   start(i,L)   = max(deliver(i,L), finish(i-1,L));
+ *   finish(i,L)  = start(i,L) + dispatch + handler cycles.
+ *
+ * The lane-L buffer slot for record i frees when the lane's record
+ * i-capacity finishes, so a lifeguard that cannot keep up eventually
+ * stalls the application. Syscall containment stalls the application at
+ * the first retirement after a syscall until *every* lane has consumed
+ * every record logged so far — including the annotation records the
+ * syscall itself emitted.
+ *
+ * With a single lane this is exactly the paper's dual-core recurrence
+ * (core/lba_system.h); with N lanes it is the parallel-lifeguard
+ * extension (core/parallel.h). The serial system is the lane-count-1
+ * special case by construction, which the shards=1 differential tests
+ * assert cycle-for-cycle.
+ */
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "compress/compressor.h"
+#include "lifeguard/dispatch.h"
+#include "log/log_buffer.h"
+#include "mem/hierarchy.h"
+#include "sim/process.h"
+#include "stats/counter.h"
+
+namespace lba::core {
+
+/** LBA platform configuration (shared by the serial and parallel systems). */
+struct LbaConfig
+{
+    /** Log buffer capacity, in records (per lane). */
+    std::size_t buffer_capacity = 64 * 1024;
+    /** Application core index. */
+    unsigned app_core = 0;
+    /**
+     * Dispatch configuration. `dispatch.core` is the first lifeguard
+     * core; lane L of a multi-lane timer consumes on core
+     * `dispatch.core + L`.
+     */
+    lifeguard::DispatchConfig dispatch{1, 1};
+    /** Stall syscalls until the log drains (error containment). */
+    bool syscall_stall = true;
+    /** Run the compressor for bandwidth accounting. */
+    bool compress = true;
+    /** Address-range record filter (paper Section 3 future work). */
+    bool filter_enabled = false;
+    Addr filter_base = 0;
+    std::uint64_t filter_bytes = 0;
+    /**
+     * Log-transport bandwidth in bytes/cycle through the cache
+     * hierarchy (0 = unlimited), per lane. With a finite bandwidth, a
+     * record can only be consumed once its (compressed) bytes have
+     * crossed the transport — this is where the < 1 byte/instruction
+     * compression pays off (paper Section 2: compression "reduce[s] the
+     * bandwidth pressure and buffer requirements on the log transport
+     * medium").
+     */
+    double transport_bytes_per_cycle = 0.0;
+    /** Record size on the transport when compression is disabled. */
+    unsigned raw_record_bytes = 24;
+};
+
+/** Timing/traffic statistics of one LBA run (aggregated over lanes). */
+struct LbaRunStats
+{
+    std::uint64_t app_instructions = 0;
+    std::uint64_t records_logged = 0;
+    std::uint64_t records_filtered = 0;
+    Cycles total_cycles = 0;
+    /** The application's own execution cycles (CPI + cache penalties). */
+    Cycles app_cycles = 0;
+    /** Cycles the application stalled on a full log buffer. */
+    Cycles backpressure_stall_cycles = 0;
+    /** Cycles the application stalled draining the log at syscalls. */
+    Cycles syscall_stall_cycles = 0;
+    /** Cycles lifeguard cores spent consuming records (summed). */
+    Cycles lifeguard_busy_cycles = 0;
+    /** Compressed log size, bytes per logged record. */
+    double bytes_per_record = 0.0;
+    /** Mean cycles between record production and consumption start. */
+    double mean_consume_lag = 0.0;
+    /** Number of syscalls that triggered a containment drain. */
+    std::uint64_t syscall_drains = 0;
+    /** Total bytes pushed onto the log transport (per-lane sum). */
+    double transport_bytes = 0.0;
+    /** Cycles consumption waited on transport bandwidth (per-lane sum). */
+    Cycles transport_wait_cycles = 0;
+};
+
+/**
+ * The shared timing engine. Owns the compressor, the per-lane buffers
+ * and dispatch engines, and the application-core clock; the systems on
+ * top only decide routing (which lane a record goes to).
+ */
+class PipelineTimer
+{
+  public:
+    /** Lane index meaning "deliver to every lane". */
+    static constexpr unsigned kBroadcast = ~0u;
+
+    /**
+     * @param hierarchy  Shared cache hierarchy; needs a core for the
+     *                   application plus one per lane.
+     * @param config     Platform configuration (see LbaConfig).
+     * @param lifeguards One lifeguard per lane (not owned; must outlive
+     *                   the timer).
+     */
+    PipelineTimer(mem::CacheHierarchy& hierarchy, const LbaConfig& config,
+                  const std::vector<lifeguard::Lifeguard*>& lifeguards);
+
+    /**
+     * Account one retirement on the application core: apply any pending
+     * syscall-containment drain, then charge fetch/memory cost.
+     */
+    void retire(const sim::Retired& retired);
+
+    /**
+     * Deliver one record to @p lane (or every lane with kBroadcast):
+     * filtering, compression accounting, back-pressure, transport and
+     * dispatch timing.
+     * @return False when the filter dropped the record.
+     */
+    bool log(const log::EventRecord& record, unsigned lane);
+
+    /**
+     * Arm the containment drain: the application stalls at its next
+     * retirement until every lane has consumed all records logged so
+     * far. No-op unless config.syscall_stall.
+     */
+    void noteSyscall();
+
+    /**
+     * Complete the run: run each lane's end-of-program hook after the
+     * application has exited and the lane has drained, charge it to
+     * that lane, and seal the aggregate stats. Call exactly once.
+     */
+    void finishAll();
+
+    /** Aggregate statistics (totals valid after finishAll()). */
+    const LbaRunStats& stats() const { return stats_; }
+
+    unsigned lanes() const { return static_cast<unsigned>(lanes_.size()); }
+
+    const log::LogBufferStats& bufferStats(unsigned lane) const;
+    const lifeguard::DispatchStats& dispatchStats(unsigned lane) const;
+    lifeguard::Lifeguard& lifeguard(unsigned lane) const;
+
+    /** Lane clock: finish time of the lane's last consumed record. */
+    Cycles laneLastFinish(unsigned lane) const;
+    /** Cycles the lane's core spent consuming (and finishing). */
+    Cycles laneBusyCycles(unsigned lane) const;
+    /** Records this lane consumed (broadcasts count in every lane). */
+    std::uint64_t laneRecords(unsigned lane) const;
+    /** Mean produce-to-consume lag of this lane's records. */
+    double laneMeanConsumeLag(unsigned lane) const;
+    /** Bytes that crossed this lane's transport link. */
+    double laneTransportBytes(unsigned lane) const;
+    /** Cycles this lane's consumption waited on its transport. */
+    Cycles laneTransportWaitCycles(unsigned lane) const;
+
+    const compress::LogCompressor& compressor() const
+    {
+        return compressor_;
+    }
+
+  private:
+    struct Lane
+    {
+        lifeguard::Lifeguard* lifeguard = nullptr;
+        std::unique_ptr<lifeguard::DispatchEngine> dispatch;
+        log::LogBuffer buffer;
+        /** finish times of records still occupying buffer slots. */
+        std::deque<Cycles> slot_finish;
+        /** finish(i-1) of this lane's most recent record. */
+        Cycles last_finish = 0;
+        /** Cycle at which the lane transport delivers its last byte. */
+        double transport_free = 0.0;
+        stats::Summary consume_lag;
+        double transport_bytes = 0.0;
+        Cycles transport_wait_cycles = 0;
+        std::uint64_t records = 0;
+
+        explicit Lane(std::size_t capacity) : buffer(capacity) {}
+    };
+
+    /** True when the filter drops this record. */
+    bool filtered(const log::EventRecord& record) const;
+
+    /** Bytes this record costs on a transport link. */
+    double transportCost(const log::EventRecord& record);
+
+    /** Free a slot in @p lane, stalling the app if needed. */
+    void reserveSlot(Lane& lane);
+
+    /** Run the recurrence for one record on one lane. */
+    void consumeOn(Lane& lane, const log::EventRecord& record,
+                   Cycles produced_at, double record_bytes);
+
+    mem::CacheHierarchy& hierarchy_;
+    LbaConfig config_;
+    compress::LogCompressor compressor_;
+    std::vector<Lane> lanes_;
+
+    /** Application core clock. */
+    Cycles app_time_ = 0;
+    /** Containment drain is applied before the next retirement. */
+    bool pending_drain_ = false;
+
+    stats::Summary consume_lag_;
+    LbaRunStats stats_;
+    bool finished_ = false;
+};
+
+} // namespace lba::core

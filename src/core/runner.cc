@@ -148,22 +148,24 @@ PlatformResult
 Experiment::runParallelLba(const LifeguardFactory& factory,
                            unsigned shards)
 {
+    return runParallelLba(factory,
+                          ParallelLbaConfig(config_.lba, shards));
+}
+
+PlatformResult
+Experiment::runParallelLba(const LifeguardFactory& factory,
+                           const ParallelLbaConfig& config)
+{
     const PlatformResult& base = unmonitored();
 
     sim::Process process = makeProcess();
     mem::HierarchyConfig hc = config_.hierarchy;
-    if (hc.num_cores < shards + 1) hc.num_cores = shards + 1;
+    unsigned needed = config.dispatch.core + config.shards;
+    if (needed < config.app_core + 1) needed = config.app_core + 1;
+    if (hc.num_cores < needed) hc.num_cores = needed;
     mem::CacheHierarchy hierarchy(hc);
 
-    ParallelLbaConfig pc;
-    pc.buffer_capacity = config_.lba.buffer_capacity;
-    pc.app_core = config_.lba.app_core;
-    pc.shards = shards;
-    pc.dispatch_cycles = config_.lba.dispatch.dispatch_cycles;
-    pc.syscall_stall = config_.lba.syscall_stall;
-    pc.compress = config_.lba.compress;
-
-    ParallelLbaSystem system(factory, hierarchy, pc);
+    ParallelLbaSystem system(factory, hierarchy, config);
     sim::RunResult run = process.run(&system);
     system.finish();
 

@@ -87,9 +87,17 @@ class Experiment
     /** Run under the Valgrind-style DBI baseline. */
     PlatformResult runDbi(const LifeguardFactory& factory);
 
-    /** Run under parallel LBA with @p shards lifeguard cores. */
+    /**
+     * Run under parallel LBA with @p shards lifeguard cores, inheriting
+     * every other knob (filtering, transport bandwidth, compression,
+     * containment) from the experiment's LbaConfig.
+     */
     PlatformResult runParallelLba(const LifeguardFactory& factory,
                                   unsigned shards);
+
+    /** Run under parallel LBA with explicit configuration overrides. */
+    PlatformResult runParallelLba(const LifeguardFactory& factory,
+                                  const ParallelLbaConfig& config);
 
     const ExperimentConfig& config() const { return config_; }
 

@@ -307,6 +307,9 @@ Process::run(RetireObserver* observer)
             }
             if (retired.is_syscall) {
                 handleSyscall(*t, observer, &end_quantum);
+                // kSpawn may grow threads_ and reallocate its storage;
+                // re-resolve the running thread before touching it.
+                t = &threads_[current_];
                 if (observer) observer->onSyscallComplete(t->tid);
             }
             if (stop_requested_) break;

@@ -230,17 +230,92 @@ TEST(ParallelLba, MoreShardsReduceLifeguardBottleneck)
     EXPECT_EQ(four.parallel.shard_busy_cycles.size(), 4u);
 }
 
-TEST(ParallelLba, SingleShardMatchesLbaClosely)
+/**
+ * The refactor's proof obligation: a shards=1 parallel run is the
+ * serial system, cycle for cycle — both are the same PipelineTimer
+ * instantiation, so every stat must match exactly.
+ */
+void
+expectSingleShardMatchesSerial(Experiment& exp,
+                               const LifeguardFactory& factory,
+                               const LbaConfig& config)
+{
+    auto serial = exp.runLba(factory, config);
+    auto par =
+        exp.runParallelLba(factory, ParallelLbaConfig(config, 1));
+
+    EXPECT_EQ(serial.lba.total_cycles, par.parallel.total_cycles);
+    EXPECT_EQ(serial.lba.app_cycles, par.parallel.app_cycles);
+    EXPECT_EQ(serial.lba.backpressure_stall_cycles,
+              par.parallel.backpressure_stall_cycles);
+    EXPECT_EQ(serial.lba.syscall_stall_cycles,
+              par.parallel.syscall_stall_cycles);
+    EXPECT_EQ(serial.lba.syscall_drains, par.parallel.syscall_drains);
+    EXPECT_EQ(serial.lba.records_logged, par.parallel.records_logged);
+    EXPECT_EQ(serial.lba.records_filtered,
+              par.parallel.records_filtered);
+    EXPECT_EQ(serial.lba.lifeguard_busy_cycles,
+              par.parallel.lifeguard_busy_cycles);
+    EXPECT_EQ(serial.lba.transport_wait_cycles,
+              par.parallel.transport_wait_cycles);
+    EXPECT_EQ(serial.lba.transport_bytes, par.parallel.transport_bytes);
+    EXPECT_EQ(serial.lba.bytes_per_record,
+              par.parallel.bytes_per_record);
+    EXPECT_EQ(serial.lba.mean_consume_lag,
+              par.parallel.mean_consume_lag);
+    ASSERT_EQ(par.parallel.shard_busy_cycles.size(), 1u);
+    EXPECT_EQ(serial.lba.lifeguard_busy_cycles,
+              par.parallel.shard_busy_cycles[0]);
+    EXPECT_EQ(serial.lba.records_logged,
+              par.parallel.shard_records[0]);
+    EXPECT_EQ(serial.lba.transport_wait_cycles,
+              par.parallel.shard_transport_wait_cycles[0]);
+
+    ASSERT_EQ(serial.findings.size(), par.findings.size());
+    for (std::size_t i = 0; i < serial.findings.size(); ++i) {
+        EXPECT_EQ(serial.findings[i].kind, par.findings[i].kind);
+        EXPECT_EQ(serial.findings[i].addr, par.findings[i].addr);
+    }
+}
+
+TEST(ParallelLba, SingleShardMatchesSerialDefaultConfig)
+{
+    workload::BugInjection bugs;
+    bugs.use_after_free = true;
+    bugs.leak = true;
+    auto generated =
+        workload::generate(*workload::findProfile("bc"), bugs, 40000);
+    Experiment exp(generated.program);
+    expectSingleShardMatchesSerial(exp, addrcheck(), exp.config().lba);
+}
+
+TEST(ParallelLba, SingleShardMatchesSerialConstrainedConfig)
+{
+    // Filtering + fractional transport bandwidth + tiny buffer: every
+    // engine feature the old hand-copied parallel path was missing.
+    auto generated =
+        workload::generate(*workload::findProfile("mcf"), {}, 40000);
+    Experiment exp(generated.program);
+    LbaConfig config = exp.config().lba;
+    config.buffer_capacity = 64;
+    config.filter_enabled = true;
+    config.filter_base = 0x10000000;
+    config.filter_bytes = 64ull << 20;
+    config.transport_bytes_per_cycle = 0.75;
+    expectSingleShardMatchesSerial(exp, addrcheck(), config);
+}
+
+TEST(ParallelLba, SingleShardMatchesSerialLockSetUncompressed)
 {
     auto generated =
-        workload::generate(*workload::findProfile("bc"), {}, 40000);
+        workload::generate(*workload::findProfile("water"), {}, 40000);
     Experiment exp(generated.program);
-    auto lba = exp.runLba(addrcheck());
-    auto par1 = exp.runParallelLba(addrcheck(), 1);
-    // Identical pipeline modulo dispatch bookkeeping: within 2%.
-    double ratio = static_cast<double>(par1.cycles) /
-                   static_cast<double>(lba.cycles);
-    EXPECT_NEAR(ratio, 1.0, 0.02);
+    LbaConfig config = exp.config().lba;
+    config.compress = false;
+    config.transport_bytes_per_cycle = 6.0;
+    expectSingleShardMatchesSerial(
+        exp, [] { return std::make_unique<lifeguards::LockSet>(); },
+        config);
 }
 
 TEST(LbaSystem, BandwidthLimitedTransportThrottles)
@@ -277,7 +352,42 @@ TEST(LbaSystem, UnlimitedBandwidthMatchesDefault)
     LbaConfig wide = exp.config().lba;
     wide.transport_bytes_per_cycle = 1e9;
     auto unconstrained = exp.runLba(addrcheck(), wide);
-    EXPECT_EQ(plain.cycles, unconstrained.cycles);
+    // Ceiling delivery: any finite bandwidth quantizes each record to
+    // the next cycle boundary, so a huge-but-finite transport is never
+    // faster than unlimited — and within a whisker of it.
+    EXPECT_GE(unconstrained.cycles, plain.cycles);
+    EXPECT_NEAR(static_cast<double>(unconstrained.cycles) /
+                    static_cast<double>(plain.cycles),
+                1.0, 0.01);
+}
+
+TEST(LbaSystem, FractionalBandwidthUsesCeilingDelivery)
+{
+    // 3 uncompressed 8-byte records over a 3 B/cycle transport: each
+    // record needs 8/3 = 2.67 cycles on the wire. With ceiling
+    // semantics a record is only consumable at the first cycle boundary
+    // at or after its last byte arrives, so the cumulative delivery
+    // points are ceil(2.67)=3, ceil(5.33)=6, ceil(8)=8 — truncation
+    // would deliver at 2, 5, 8 and let records 1 and 2 be consumed
+    // before their final byte crossed the transport.
+    auto prog = program("li r1, 1\nli r2, 2\nhalt\n");
+    Experiment exp(prog);
+    LbaConfig frac = exp.config().lba;
+    frac.compress = false;
+    frac.raw_record_bytes = 8;
+    frac.transport_bytes_per_cycle = 3.0;
+    auto run = exp.runLba(addrcheck(), frac);
+    // 3 instruction records + ThreadExit annotation = 4 records of
+    // 8 bytes each; production finishes long before the wire does, so
+    // every delivery waits on the transport.
+    ASSERT_EQ(run.lba.records_logged, 4u);
+    EXPECT_EQ(run.lba.transport_bytes, 32.0);
+    // The run is deterministic, so pin the exact values that separate
+    // the two semantics: ceiling delivery waits 24 cycles total (mean
+    // lag 6.0); the old truncating delivery waited only 20 (lag 5.0),
+    // consuming records before their final byte had crossed the wire.
+    EXPECT_EQ(run.lba.transport_wait_cycles, 24u);
+    EXPECT_DOUBLE_EQ(run.lba.mean_consume_lag, 6.0);
 }
 
 TEST(LbaSystem, TransportBytesMatchCompressorOutput)

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Direct tests of the shared timing engine (core::PipelineTimer): exact
+ * transport-ceiling delivery, syscall-containment drain ordering,
+ * per-lane finish cost, per-lane back-pressure and buffer statistics.
+ *
+ * These tests drive the engine with hand-built records and a
+ * fixed-cost lifeguard so every cycle count is computable by hand; the
+ * serial/parallel differential tests in core_test.cpp cover the same
+ * engine from the system level.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline_timer.h"
+#include "lifeguard/lifeguard.h"
+
+namespace lba::core {
+namespace {
+
+/** Charges a fixed instruction count per record (and at finish). */
+class FixedCostLifeguard : public lifeguard::Lifeguard
+{
+  public:
+    explicit FixedCostLifeguard(std::uint32_t handler_instrs,
+                                std::uint32_t finish_instrs = 0)
+        : handler_instrs_(handler_instrs), finish_instrs_(finish_instrs)
+    {
+    }
+
+    const char* name() const override { return "FixedCost"; }
+
+    void
+    handleEvent(const log::EventRecord&, lifeguard::CostSink& cost) override
+    {
+        cost.instrs(handler_instrs_);
+    }
+
+    void
+    finish(lifeguard::CostSink& cost) override
+    {
+        cost.instrs(finish_instrs_);
+    }
+
+  private:
+    std::uint32_t handler_instrs_;
+    std::uint32_t finish_instrs_;
+};
+
+mem::HierarchyConfig
+cores(unsigned n)
+{
+    mem::HierarchyConfig hc;
+    hc.num_cores = n;
+    return hc;
+}
+
+log::EventRecord
+aluRecord(Addr pc = 0x1000)
+{
+    log::EventRecord record;
+    record.pc = pc;
+    record.type = log::EventType::kIntAlu;
+    return record;
+}
+
+log::EventRecord
+allocRecord(Addr base, std::uint64_t size)
+{
+    log::EventRecord record;
+    record.type = log::EventType::kAlloc;
+    record.addr = base;
+    record.aux = size;
+    return record;
+}
+
+TEST(PipelineTimer, FractionalTransportDeliversOnCeiling)
+{
+    // 3-byte raw records over a 2 B/cycle transport need 1.5 cycles
+    // each. Record 1 completes at t=1.5 -> consumable at cycle 2 (not
+    // at 1, as truncation allowed); record 2 completes at t=3.0 ->
+    // consumable exactly at 3 (ceiling must not round exact integers up).
+    mem::CacheHierarchy hierarchy(cores(2));
+    LbaConfig config;
+    config.compress = false;
+    config.raw_record_bytes = 3;
+    config.transport_bytes_per_cycle = 2.0;
+    FixedCostLifeguard guard(0);
+    PipelineTimer timer(hierarchy, config, {&guard});
+
+    timer.log(aluRecord(), 0);
+    timer.log(aluRecord(), 0);
+
+    // Waits: (2 - 0) + (3 - 0) = 5. Truncation would report 1 + 3 = 4.
+    EXPECT_EQ(timer.stats().transport_wait_cycles, 5u);
+    EXPECT_EQ(timer.stats().transport_bytes, 6.0);
+    // start(1) = 2, start(2) = max(3, finish(1)=3) = 3.
+    timer.finishAll();
+    EXPECT_EQ(timer.stats().total_cycles, 4u);
+    EXPECT_DOUBLE_EQ(timer.stats().mean_consume_lag, 2.5);
+}
+
+TEST(PipelineTimer, ContainmentDrainCoversSyscallAnnotations)
+{
+    // The drain armed by a syscall must also wait for the annotation
+    // records the syscall's own OS handlers emitted after it.
+    mem::CacheHierarchy hierarchy(cores(2));
+    LbaConfig config;
+    config.syscall_stall = true;
+    FixedCostLifeguard guard(4); // consume cost = 1 dispatch + 4
+    PipelineTimer timer(hierarchy, config, {&guard});
+
+    sim::Retired retired;
+    retired.pc = 0x1000;
+    timer.retire(retired);
+    Cycles app_before = timer.stats().app_cycles;
+
+    // Syscall record, then its annotation, both produced at app_before.
+    timer.log(aluRecord(), 0);
+    timer.noteSyscall();
+    timer.log(allocRecord(0x10000000, 64), 0);
+    // finish(syscall) = app_before + 5; finish(alloc) = app_before + 10.
+
+    retired.pc = 0x1008;
+    timer.retire(retired);
+    // The drain stalls the app from app_before to app_before + 10 —
+    // covering the annotation, not just the syscall record.
+    EXPECT_EQ(timer.stats().syscall_drains, 1u);
+    EXPECT_EQ(timer.stats().syscall_stall_cycles, 10u);
+    (void)app_before;
+}
+
+TEST(PipelineTimer, FinishCostLandsOnEachLane)
+{
+    // Lane 0: two records (last_finish = 2) and a cheap final pass (3).
+    // Lane 1: idle but with an expensive final pass (10). Folding a
+    // single max finish cost into the global clock would report
+    // max(2,0) + 10 = 12; per-lane accounting gives
+    // max(2+3, 0+10) = 10.
+    mem::CacheHierarchy hierarchy(cores(3));
+    LbaConfig config;
+    FixedCostLifeguard cheap_finish(0, 3);
+    FixedCostLifeguard dear_finish(0, 10);
+    PipelineTimer timer(hierarchy, config, {&cheap_finish, &dear_finish});
+
+    timer.log(aluRecord(), 0);
+    timer.log(aluRecord(), 0);
+    timer.finishAll();
+
+    EXPECT_EQ(timer.stats().total_cycles, 10u);
+    EXPECT_EQ(timer.laneLastFinish(0), 5u);
+    EXPECT_EQ(timer.laneLastFinish(1), 10u);
+    // Busy cycles include the lane's own finish pass.
+    EXPECT_EQ(timer.laneBusyCycles(0), 5u);
+    EXPECT_EQ(timer.laneBusyCycles(1), 10u);
+    EXPECT_EQ(timer.stats().lifeguard_busy_cycles, 15u);
+}
+
+TEST(PipelineTimer, PerLaneBackpressureAndBufferStats)
+{
+    mem::CacheHierarchy hierarchy(cores(2));
+    LbaConfig config;
+    config.buffer_capacity = 2;
+    FixedCostLifeguard guard(10); // consume cost = 11
+    PipelineTimer timer(hierarchy, config, {&guard});
+
+    timer.log(aluRecord(), 0); // finish = 11
+    timer.log(aluRecord(), 0); // finish = 22
+    // Third record: both slots taken; the app stalls until the first
+    // record finishes at 11.
+    timer.log(aluRecord(), 0);
+    EXPECT_EQ(timer.stats().backpressure_stall_cycles, 11u);
+
+    const log::LogBufferStats& bstats = timer.bufferStats(0);
+    EXPECT_EQ(bstats.pushes, 3u);
+    EXPECT_EQ(bstats.pops, 1u);
+    EXPECT_EQ(bstats.max_occupancy, 2u);
+}
+
+TEST(PipelineTimer, BroadcastReservesASlotInEveryLane)
+{
+    mem::CacheHierarchy hierarchy(cores(3));
+    LbaConfig config;
+    FixedCostLifeguard a(2), b(7);
+    PipelineTimer timer(hierarchy, config, {&a, &b});
+
+    timer.log(allocRecord(0x10000000, 64), PipelineTimer::kBroadcast);
+    // One logical record, one slot (and one consumption) per lane.
+    EXPECT_EQ(timer.stats().records_logged, 1u);
+    EXPECT_EQ(timer.laneRecords(0), 1u);
+    EXPECT_EQ(timer.laneRecords(1), 1u);
+    EXPECT_EQ(timer.bufferStats(0).pushes, 1u);
+    EXPECT_EQ(timer.bufferStats(1).pushes, 1u);
+    // Each lane's clock advances by its own consume cost.
+    EXPECT_EQ(timer.laneLastFinish(0), 3u);
+    EXPECT_EQ(timer.laneLastFinish(1), 8u);
+}
+
+TEST(PipelineTimer, FilterDropsBeforeAnyAccounting)
+{
+    mem::CacheHierarchy hierarchy(cores(2));
+    LbaConfig config;
+    config.filter_enabled = true;
+    config.filter_base = 0x10000000;
+    config.filter_bytes = 4096;
+    config.compress = false;
+    config.raw_record_bytes = 8;
+    config.transport_bytes_per_cycle = 1.0;
+    FixedCostLifeguard guard(0);
+    PipelineTimer timer(hierarchy, config, {&guard});
+
+    log::EventRecord out_of_range;
+    out_of_range.type = log::EventType::kLoad;
+    out_of_range.addr = 0x2000; // below the filter window
+    EXPECT_FALSE(timer.log(out_of_range, 0));
+    EXPECT_EQ(timer.stats().records_filtered, 1u);
+    EXPECT_EQ(timer.stats().records_logged, 0u);
+    EXPECT_EQ(timer.stats().transport_bytes, 0.0);
+    EXPECT_EQ(timer.bufferStats(0).pushes, 0u);
+
+    log::EventRecord in_range;
+    in_range.type = log::EventType::kLoad;
+    in_range.addr = 0x10000010;
+    EXPECT_TRUE(timer.log(in_range, 0));
+    EXPECT_EQ(timer.stats().records_logged, 1u);
+    EXPECT_EQ(timer.stats().transport_bytes, 8.0);
+}
+
+} // namespace
+} // namespace lba::core

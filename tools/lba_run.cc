@@ -6,6 +6,7 @@
  * Usage:
  *   lba_run <benchmark> <addrcheck|taintcheck|lockset>
  *           [--instrs N] [--platform lba|dbi|both] [--shards N]
+ *           [--transport-bw BYTES_PER_CYCLE]
  *           [--bugs uaf,double-free,leak,tainted-jump,race]
  */
 
@@ -33,7 +34,7 @@ usage()
         stderr,
         "usage: lba_run <benchmark> <addrcheck|taintcheck|lockset>\n"
         "               [--instrs N] [--platform lba|dbi|both]\n"
-        "               [--shards N]\n"
+        "               [--shards N] [--transport-bw BYTES_PER_CYCLE]\n"
         "               [--bugs uaf,double-free,leak,tainted-jump,race]\n");
     return 2;
 }
@@ -51,7 +52,31 @@ printResult(const core::PlatformResult& result)
                     static_cast<unsigned long long>(
                         result.lba.syscall_drains));
     }
+    if (result.platform == "lba-parallel") {
+        std::printf("   (%.3f B/record, %llu drains)",
+                    result.parallel.bytes_per_record,
+                    static_cast<unsigned long long>(
+                        result.parallel.syscall_drains));
+    }
     std::printf("\n");
+    if (result.platform == "lba-parallel") {
+        for (std::size_t s = 0;
+             s < result.parallel.shard_busy_cycles.size(); ++s) {
+            std::printf(
+                "    shard %zu: %llu records, %llu busy cycles "
+                "(%.0f%% occupancy), lag %.1f\n",
+                s,
+                static_cast<unsigned long long>(
+                    result.parallel.shard_records[s]),
+                static_cast<unsigned long long>(
+                    result.parallel.shard_busy_cycles[s]),
+                100.0 *
+                    static_cast<double>(
+                        result.parallel.shard_busy_cycles[s]) /
+                    static_cast<double>(result.parallel.total_cycles),
+                result.parallel.shard_consume_lag[s]);
+        }
+    }
     for (const auto& finding : result.findings) {
         std::printf("    %s\n", lifeguard::toString(finding).c_str());
     }
@@ -69,6 +94,7 @@ main(int argc, char** argv)
     std::uint64_t instrs = 250000;
     std::string platform = "both";
     unsigned shards = 0;
+    double transport_bw = 0.0;
     workload::BugInjection bugs;
     for (int i = 3; i < argc; ++i) {
         std::string arg = argv[i];
@@ -79,6 +105,8 @@ main(int argc, char** argv)
         } else if (arg == "--shards" && i + 1 < argc) {
             shards = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--transport-bw" && i + 1 < argc) {
+            transport_bw = std::strtod(argv[++i], nullptr);
         } else if (arg == "--bugs" && i + 1 < argc) {
             std::string list = argv[++i];
             bugs.use_after_free = list.find("uaf") != std::string::npos;
@@ -118,7 +146,11 @@ main(int argc, char** argv)
     }
 
     auto generated = workload::generate(*profile, bugs, instrs);
-    core::Experiment experiment(generated.program);
+    core::ExperimentConfig config;
+    // The parallel platform inherits the same knob through
+    // Experiment::runParallelLba (one timing engine under both).
+    config.lba.transport_bytes_per_cycle = transport_bw;
+    core::Experiment experiment(generated.program, config);
     const auto& base = experiment.unmonitored();
     std::printf("%s under %s (%llu instructions, CPI %.2f "
                 "unmonitored)\n\n",

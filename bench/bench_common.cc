@@ -7,6 +7,8 @@
 
 #include <cstdio>
 
+#include "stats/json.h"
+
 namespace lba::bench {
 
 std::vector<SuiteRow>
@@ -30,7 +32,7 @@ runSuite(const std::vector<workload::Profile>& profiles,
     return rows;
 }
 
-void
+stats::Table
 printFigurePanel(const std::string& title,
                  const std::string& lifeguard_name,
                  const std::vector<SuiteRow>& rows)
@@ -56,6 +58,57 @@ printFigurePanel(const std::string& title,
                   stats::formatSlowdown(lsum / rows.size()),
                   stats::formatSlowdown(vsum / lsum)});
     std::printf("%s\n", table.toString().c_str());
+    return table;
+}
+
+std::string
+jsonOutPath(int argc, char** argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--json") return argv[i + 1];
+    }
+    return "";
+}
+
+JsonReport::JsonReport(std::string bench_name, std::string path)
+    : bench_name_(std::move(bench_name)), path_(std::move(path))
+{
+}
+
+void
+JsonReport::addTable(const std::string& title, const stats::Table& table)
+{
+    if (!enabled()) return;
+    tables_.emplace_back(title, table.toJson());
+}
+
+JsonReport::~JsonReport()
+{
+    if (!enabled()) return;
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("bench", bench_name_);
+    json.key("tables");
+    json.beginArray();
+    for (const auto& [title, rows] : tables_) {
+        json.beginObject();
+        json.field("title", title);
+        json.key("rows");
+        // Splice the pre-rendered row array in verbatim.
+        json.raw(rows);
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+
+    std::FILE* file = std::fopen(path_.c_str(), "w");
+    if (!file) {
+        std::fprintf(stderr, "warning: cannot write %s\n",
+                     path_.c_str());
+        return;
+    }
+    std::fprintf(file, "%s\n", json.str().c_str());
+    std::fclose(file);
 }
 
 } // namespace lba::bench

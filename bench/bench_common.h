@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/runner.h"
@@ -71,9 +72,53 @@ std::vector<SuiteRow> runSuite(
     const std::vector<workload::Profile>& profiles,
     const core::LifeguardFactory& factory, std::uint64_t instructions);
 
-/** Print a Figure-2-style panel. */
-void printFigurePanel(const std::string& title,
-                      const std::string& lifeguard_name,
-                      const std::vector<SuiteRow>& rows);
+/**
+ * Print a Figure-2-style panel.
+ * @return The panel's table (for JSON emission via JsonReport).
+ */
+stats::Table printFigurePanel(const std::string& title,
+                              const std::string& lifeguard_name,
+                              const std::vector<SuiteRow>& rows);
+
+/** Path passed via `--json PATH` (empty when the flag is absent). */
+std::string jsonOutPath(int argc, char** argv);
+
+/**
+ * Machine-readable bench output: collects named tables and writes one
+ * JSON document `{"bench": name, "tables": [{"title", "rows"}]}` to
+ * the `--json` path at destruction. Disabled (no-op) when the path is
+ * empty, so benches can use it unconditionally:
+ *
+ * @code
+ *   int main(int argc, char** argv) {
+ *       bench::JsonReport report("fig2a_addrcheck",
+ *                                bench::jsonOutPath(argc, argv));
+ *       ...
+ *       report.addTable("AddrCheck", table);
+ *   }
+ * @endcode
+ *
+ * scripts/run_all_benches.sh passes `--json` to every bench and merges
+ * the documents into BENCH_results.json.
+ */
+class JsonReport
+{
+  public:
+    JsonReport(std::string bench_name, std::string path);
+    ~JsonReport();
+
+    JsonReport(const JsonReport&) = delete;
+    JsonReport& operator=(const JsonReport&) = delete;
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Record one result table under @p title. */
+    void addTable(const std::string& title, const stats::Table& table);
+
+  private:
+    std::string bench_name_;
+    std::string path_;
+    std::vector<std::pair<std::string, std::string>> tables_;
+};
 
 } // namespace lba::bench

@@ -11,14 +11,17 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace lba;
+    bench::JsonReport report("fig2a_addrcheck",
+                             bench::jsonOutPath(argc, argv));
     auto rows = bench::runSuite(workload::singleThreadedSuite(),
                                 bench::makeAddrCheck(),
                                 bench::benchInstructions());
-    bench::printFigurePanel(
+    stats::Table table = bench::printFigurePanel(
         "Figure 2(a): AddrCheck, LBA vs Valgrind-style DBI",
         "AddrCheck", rows);
+    report.addTable("AddrCheck", table);
     return 0;
 }

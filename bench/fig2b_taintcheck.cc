@@ -10,14 +10,17 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace lba;
+    bench::JsonReport report("fig2b_taintcheck",
+                             bench::jsonOutPath(argc, argv));
     auto rows = bench::runSuite(workload::singleThreadedSuite(),
                                 bench::makeTaintCheck(),
                                 bench::benchInstructions());
-    bench::printFigurePanel(
+    stats::Table table = bench::printFigurePanel(
         "Figure 2(b): TaintCheck, LBA vs Valgrind-style DBI",
         "TaintCheck", rows);
+    report.addTable("TaintCheck", table);
     return 0;
 }

@@ -11,14 +11,17 @@
 #include "bench_common.h"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace lba;
+    bench::JsonReport report("fig2c_lockset",
+                             bench::jsonOutPath(argc, argv));
     auto rows = bench::runSuite(workload::multiThreadedSuite(),
                                 bench::makeLockSet(),
                                 bench::benchInstructions());
-    bench::printFigurePanel(
+    stats::Table table = bench::printFigurePanel(
         "Figure 2(c): LockSet, LBA vs Valgrind-style DBI", "LockSet",
         rows);
+    report.addTable("LockSet", table);
     return 0;
 }

@@ -15,6 +15,10 @@ fi
 
 out_dir="$build_dir/bench-results"
 mkdir -p "$out_dir"
+# Drop stale machine-readable results so BENCH_results.json only ever
+# reflects this run (a bench removed or skipped since the last run
+# must not leak its old numbers into the merge below).
+rm -f "$out_dir"/*.json
 
 # Discover the suite from bench/*.cc so a new bench is picked up
 # automatically; bench_common is the shared library, micro_compressor
@@ -40,7 +44,9 @@ for bench in $benches; do
         continue
     fi
     echo "run   $bench"
-    if ! "$build_dir/$bench" >"$out_dir/$bench.txt"; then
+    # --json is ignored by benches without machine-readable output.
+    if ! "$build_dir/$bench" --json "$out_dir/$bench.json" \
+        >"$out_dir/$bench.txt"; then
         echo "FAIL  $bench (claim check missed; see $out_dir/$bench.txt)"
         failed="$failed $bench"
     fi
@@ -53,6 +59,22 @@ if [ -x "$build_dir/micro_compressor" ]; then
         --benchmark_out="$out_dir/micro_compressor.json" \
         --benchmark_out_format=json >"$out_dir/micro_compressor.txt"
 fi
+
+# Collect every machine-readable result into one document so the perf
+# trajectory can be tracked commit over commit.
+results="$build_dir/BENCH_results.json"
+{
+    printf '{"suite":"lba","results":['
+    first=1
+    for f in "$out_dir"/*.json; do
+        [ -e "$f" ] || continue
+        [ "$first" -eq 1 ] || printf ','
+        first=0
+        cat "$f"
+    done
+    printf ']}\n'
+} >"$results"
+echo "combined JSON in $results"
 
 echo "results in $out_dir/"
 if [ -n "$failed" ]; then

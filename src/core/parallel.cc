@@ -101,12 +101,9 @@ ParallelLbaSystem::finish()
 }
 
 std::vector<lifeguard::Finding>
-ParallelLbaSystem::allFindings() const
+mergeShardFindings(
+    const std::vector<std::unique_ptr<lifeguard::Lifeguard>>& shards)
 {
-    // Annotation records are broadcast, so state derived from them
-    // (live-block tables, lock tables) is replicated per shard and the
-    // same finding (double free, leak) surfaces in every lane; dedupe
-    // identical findings while preserving first-seen order.
     std::vector<lifeguard::Finding> all;
     auto seen = [&](const lifeguard::Finding& f) {
         for (const auto& g : all) {
@@ -117,12 +114,18 @@ ParallelLbaSystem::allFindings() const
         }
         return false;
     };
-    for (const auto& guard : lifeguards_) {
+    for (const auto& guard : shards) {
         for (const auto& f : guard->findings()) {
             if (!seen(f)) all.push_back(f);
         }
     }
     return all;
+}
+
+std::vector<lifeguard::Finding>
+ParallelLbaSystem::allFindings() const
+{
+    return mergeShardFindings(lifeguards_);
 }
 
 } // namespace lba::core

@@ -80,6 +80,16 @@ struct ParallelLbaStats : LbaRunStats
 };
 
 /**
+ * Merge the findings of several lifeguard instances monitoring the same
+ * application: annotation records are broadcast, so state derived from
+ * them (live-block tables, lock tables) is replicated per instance and
+ * the same finding (double free, leak) surfaces in several of them;
+ * identical findings are deduplicated preserving first-seen order.
+ */
+std::vector<lifeguard::Finding> mergeShardFindings(
+    const std::vector<std::unique_ptr<lifeguard::Lifeguard>>& shards);
+
+/**
  * LBA with the log fanned out to multiple lifeguard cores.
  */
 class ParallelLbaSystem : public sim::RetireObserver

@@ -17,29 +17,82 @@ using log::EventType;
 
 PipelineTimer::PipelineTimer(
     mem::CacheHierarchy& hierarchy, const LbaConfig& config,
-    const std::vector<lifeguard::Lifeguard*>& lifeguards)
+    const std::vector<lifeguard::Lifeguard*>& lifeguards,
+    const std::vector<LaneLimits>& lane_limits)
     : hierarchy_(hierarchy), config_(config)
 {
     LBA_ASSERT(!lifeguards.empty(), "timer needs at least one lane");
-    unsigned nlanes = static_cast<unsigned>(lifeguards.size());
-    LBA_ASSERT(hierarchy.config().num_cores >=
-                   config.dispatch.core + nlanes,
+    buildLanes(static_cast<unsigned>(lifeguards.size()), lifeguards,
+               lane_limits);
+}
+
+PipelineTimer::PipelineTimer(mem::CacheHierarchy& hierarchy,
+                             const LbaConfig& config, unsigned nlanes,
+                             const std::vector<LaneLimits>& lane_limits)
+    : hierarchy_(hierarchy), config_(config)
+{
+    LBA_ASSERT(nlanes >= 1, "timer needs at least one lane");
+    buildLanes(nlanes, {}, lane_limits);
+}
+
+void
+PipelineTimer::buildLanes(
+    unsigned nlanes, const std::vector<lifeguard::Lifeguard*>& lifeguards,
+    const std::vector<LaneLimits>& lane_limits)
+{
+    LBA_ASSERT(hierarchy_.config().num_cores >=
+                   config_.dispatch.core + nlanes,
                "hierarchy must provide one core per lane plus the app");
-    LBA_ASSERT(config.app_core < config.dispatch.core ||
-                   config.app_core >= config.dispatch.core + nlanes,
+    LBA_ASSERT(config_.app_core < config_.dispatch.core ||
+                   config_.app_core >= config_.dispatch.core + nlanes,
                "application and lifeguard must use different cores");
+    LBA_ASSERT(lane_limits.empty() || lane_limits.size() == nlanes,
+               "lane limits must cover every lane or none");
 
     lanes_.reserve(nlanes);
     for (unsigned i = 0; i < nlanes; ++i) {
-        LBA_ASSERT(lifeguards[i] != nullptr, "lane lifeguard is null");
-        Lane lane(config.buffer_capacity);
-        lane.lifeguard = lifeguards[i];
-        lifeguard::DispatchConfig dc = config.dispatch;
-        dc.core = config.dispatch.core + i;
-        lane.dispatch = std::make_unique<lifeguard::DispatchEngine>(
-            *lane.lifeguard, hierarchy, dc);
+        std::size_t capacity = config_.buffer_capacity;
+        double bandwidth = config_.transport_bytes_per_cycle;
+        if (!lane_limits.empty()) {
+            const LaneLimits& limits = lane_limits[i];
+            if (limits.buffer_capacity > 0) {
+                capacity = limits.buffer_capacity;
+            }
+            if (limits.transport_bytes_per_cycle >= 0.0) {
+                bandwidth = limits.transport_bytes_per_cycle;
+            }
+        }
+        Lane lane(capacity);
+        lane.bytes_per_cycle = bandwidth;
+        if (!lifeguards.empty()) {
+            LBA_ASSERT(lifeguards[i] != nullptr, "lane lifeguard is null");
+            lane.lifeguard = lifeguards[i];
+            lifeguard::DispatchConfig dc = config_.dispatch;
+            dc.core = config_.dispatch.core + i;
+            lane.dispatch = std::make_unique<lifeguard::DispatchEngine>(
+                *lane.lifeguard, hierarchy_, dc);
+        }
         lanes_.push_back(std::move(lane));
     }
+
+    Producer primary;
+    primary.app_core = config_.app_core;
+    producers_.push_back(std::move(primary));
+}
+
+unsigned
+PipelineTimer::addProducer(unsigned app_core)
+{
+    LBA_ASSERT(!finished_, "cannot add a producer after seal()");
+    LBA_ASSERT(app_core < hierarchy_.config().num_cores,
+               "producer core outside the hierarchy");
+    LBA_ASSERT(app_core < config_.dispatch.core ||
+                   app_core >= config_.dispatch.core + lanes(),
+               "producer and lifeguard must use different cores");
+    Producer producer;
+    producer.app_core = app_core;
+    producers_.push_back(std::move(producer));
+    return static_cast<unsigned>(producers_.size() - 1);
 }
 
 bool
@@ -55,153 +108,305 @@ PipelineTimer::filtered(const EventRecord& record) const
 }
 
 double
-PipelineTimer::transportCost(const EventRecord& record)
+PipelineTimer::transportCost(Producer& producer, const EventRecord& record)
 {
     // Bandwidth accounting: compressed records cost their true encoded
-    // size; uncompressed transport pays the full record width.
+    // size; uncompressed transport pays the full record width. Each
+    // producer is its own log stream, so its compressor sees only its
+    // own record sequence.
     if (!config_.compress) return config_.raw_record_bytes;
-    std::uint64_t before = compressor_.bits();
-    compressor_.append(record);
-    return static_cast<double>(compressor_.bits() - before) / 8.0;
+    std::uint64_t before = producer.compressor.bits();
+    producer.compressor.append(record);
+    return static_cast<double>(producer.compressor.bits() - before) / 8.0;
 }
 
 void
-PipelineTimer::reserveSlot(Lane& lane)
+PipelineTimer::reserveSlots(Producer& producer, Lane& lane,
+                            std::size_t needed)
 {
     // Back-pressure: the lane slot for this record frees when the lane's
-    // record capacity-entries ago has been consumed.
-    if (lane.slot_finish.size() < lane.buffer.capacity()) return;
-    Cycles freed_at = lane.slot_finish.front();
-    lane.slot_finish.pop_front();
-    if (app_time_ < freed_at) {
-        stats_.backpressure_stall_cycles += freed_at - app_time_;
-        app_time_ = freed_at;
+    // record capacity-entries ago has been consumed. The stall is paid
+    // by the producing application, even when the occupying record
+    // belongs to another tenant. A lane hosting several folded shard
+    // contexts may need multiple slots for one logical record.
+    LBA_ASSERT(needed <= lane.buffer.capacity(),
+               "lane buffer smaller than one record's consumptions");
+    while (lane.slot_finish.size() + needed > lane.buffer.capacity()) {
+        Cycles freed_at = lane.slot_finish.front();
+        lane.slot_finish.pop_front();
+        if (producer.app_time < freed_at) {
+            Cycles stall = freed_at - producer.app_time;
+            stats_.backpressure_stall_cycles += stall;
+            producer.stats.backpressure_stall_cycles += stall;
+            producer.app_time = freed_at;
+        }
+        // The functional buffer mirrors the slot accounting.
+        log::LogBuffer::Entry drained;
+        bool ok = lane.buffer.pop(&drained);
+        LBA_ASSERT(ok, "slot accounting out of sync with buffer");
     }
-    // The functional buffer mirrors the slot accounting.
-    log::LogBuffer::Entry drained;
-    bool ok = lane.buffer.pop(&drained);
-    LBA_ASSERT(ok, "slot accounting out of sync with buffer");
 }
 
 void
-PipelineTimer::consumeOn(Lane& lane, const EventRecord& record,
-                         Cycles produced_at, double record_bytes)
+PipelineTimer::consumeOn(Producer& producer, Lane& lane,
+                         lifeguard::DispatchEngine& engine,
+                         const EventRecord& record, Cycles produced_at,
+                         double record_bytes)
 {
     bool pushed = lane.buffer.push(record, produced_at);
     LBA_ASSERT(pushed, "buffer full after slot accounting");
     lane.transport_bytes += record_bytes;
     stats_.transport_bytes += record_bytes;
+    producer.stats.transport_bytes += record_bytes;
 
     // The record is visible to the dispatch engine only after its bytes
     // have crossed the (possibly bandwidth-limited) transport. Ceiling:
     // the last byte must have fully arrived, so delivery lands on the
     // first cycle boundary at or after the transport completes.
     Cycles delivered_at = produced_at;
-    if (config_.transport_bytes_per_cycle > 0.0) {
+    if (lane.bytes_per_cycle > 0.0) {
         lane.transport_free =
             std::max(lane.transport_free,
                      static_cast<double>(produced_at)) +
-            record_bytes / config_.transport_bytes_per_cycle;
+            record_bytes / lane.bytes_per_cycle;
         delivered_at = static_cast<Cycles>(std::ceil(lane.transport_free));
         if (delivered_at > produced_at) {
-            lane.transport_wait_cycles += delivered_at - produced_at;
-            stats_.transport_wait_cycles += delivered_at - produced_at;
+            Cycles wait = delivered_at - produced_at;
+            lane.transport_wait_cycles += wait;
+            stats_.transport_wait_cycles += wait;
+            producer.stats.transport_wait_cycles += wait;
         }
     }
 
     Cycles start = std::max(delivered_at, lane.last_finish);
     double lag = static_cast<double>(start - produced_at);
     lane.consume_lag.record(lag);
+    producer.consume_lag.record(lag);
     consume_lag_.record(lag);
-    Cycles cost = lane.dispatch->consume(record);
+    Cycles cost = engine.consume(record);
     lane.last_finish = start + cost;
+    lane.busy_cycles += cost;
+    producer.stats.lifeguard_busy_cycles += cost;
+    producer.drain_clock = std::max(producer.drain_clock, lane.last_finish);
     lane.slot_finish.push_back(lane.last_finish);
     ++lane.records;
+
+    if (consume_observer_) {
+        unsigned producer_idx = static_cast<unsigned>(
+            &producer - producers_.data());
+        unsigned lane_idx = static_cast<unsigned>(&lane - lanes_.data());
+        consume_observer_(producer_idx, lane_idx, record,
+                          static_cast<Cycles>(lag), cost, record_bytes);
+    }
+}
+
+bool
+PipelineTimer::admitRecord(Producer& producer, const EventRecord& record,
+                           double* record_bytes)
+{
+    if (filtered(record)) {
+        ++stats_.records_filtered;
+        ++producer.stats.records_filtered;
+        return false;
+    }
+    *record_bytes = transportCost(producer, record);
+    return true;
 }
 
 bool
 PipelineTimer::log(const EventRecord& record, unsigned lane)
 {
-    if (filtered(record)) {
-        ++stats_.records_filtered;
-        return false;
-    }
-    double record_bytes = transportCost(record);
+    Producer& producer = producers_.front();
+    double record_bytes = 0.0;
+    if (!admitRecord(producer, record, &record_bytes)) return false;
 
     // Reserve a slot in every target lane first: the application can
     // only append the record once all of its consumers have room, so
     // produce(i) reflects the back-pressure of the slowest target lane.
     if (lane == kBroadcast) {
-        for (Lane& l : lanes_) reserveSlot(l);
-        Cycles produced_at = app_time_;
+        for (Lane& l : lanes_) reserveSlots(producer, l, 1);
+        Cycles produced_at = producer.app_time;
         for (Lane& l : lanes_) {
-            consumeOn(l, record, produced_at, record_bytes);
+            LBA_ASSERT(l.dispatch, "broadcast lane has no dispatch engine");
+            consumeOn(producer, l, *l.dispatch, record, produced_at,
+                      record_bytes);
         }
     } else {
         LBA_ASSERT(lane < lanes_.size(), "record routed to bad lane");
-        reserveSlot(lanes_[lane]);
-        consumeOn(lanes_[lane], record, app_time_, record_bytes);
+        Lane& l = lanes_[lane];
+        LBA_ASSERT(l.dispatch, "lane has no dispatch engine; use the "
+                               "external-dispatch log() overload");
+        reserveSlots(producer, l, 1);
+        consumeOn(producer, l, *l.dispatch, record, producer.app_time,
+                  record_bytes);
     }
     ++stats_.records_logged;
+    ++producer.stats.records_logged;
+    return true;
+}
+
+bool
+PipelineTimer::log(unsigned producer_idx, const EventRecord& record,
+                   const std::vector<Target>& targets)
+{
+    LBA_ASSERT(producer_idx < producers_.size(), "bad producer index");
+    LBA_ASSERT(!targets.empty(), "record needs at least one target");
+    Producer& producer = producers_[producer_idx];
+    double record_bytes = 0.0;
+    if (!admitRecord(producer, record, &record_bytes)) return false;
+
+    // Same ordering as the broadcast path: all slots first, so
+    // produce(i) reflects the slowest target lane, then consume in
+    // target order. A lane takes one slot per target folded onto it,
+    // so count per-lane demand first (first-seen lane order).
+    lane_demand_.clear();
+    for (const Target& target : targets) {
+        LBA_ASSERT(target.lane < lanes_.size(),
+                   "record routed to bad lane");
+        bool found = false;
+        for (auto& [lane, count] : lane_demand_) {
+            if (lane == target.lane) {
+                ++count;
+                found = true;
+                break;
+            }
+        }
+        if (!found) lane_demand_.emplace_back(target.lane, 1);
+    }
+    for (const auto& [lane, count] : lane_demand_) {
+        reserveSlots(producer, lanes_[lane], count);
+    }
+    Cycles produced_at = producer.app_time;
+    for (const Target& target : targets) {
+        LBA_ASSERT(target.engine != nullptr, "target has no engine");
+        consumeOn(producer, lanes_[target.lane], *target.engine, record,
+                  produced_at, record_bytes);
+    }
+    ++stats_.records_logged;
+    ++producer.stats.records_logged;
     return true;
 }
 
 void
-PipelineTimer::retire(const sim::Retired& retired)
+PipelineTimer::retire(unsigned producer_idx, const sim::Retired& retired)
 {
-    if (pending_drain_) {
+    LBA_ASSERT(producer_idx < producers_.size(), "bad producer index");
+    Producer& producer = producers_[producer_idx];
+    if (producer.pending_drain) {
         // Applied before this retirement's own cost, so the drain covers
-        // every record logged so far — including the annotation records
-        // the syscall's own onOsEvent handlers emitted.
-        pending_drain_ = false;
+        // every record this producer logged so far — including the
+        // annotation records the syscall's own onOsEvent handlers
+        // emitted. The producer's drain clock tracks the latest finish
+        // over its own records, so one tenant's drain does not wait on
+        // another tenant's backlog.
+        producer.pending_drain = false;
         ++stats_.syscall_drains;
-        Cycles drained = 0;
-        for (const Lane& lane : lanes_) {
-            drained = std::max(drained, lane.last_finish);
-        }
-        if (app_time_ < drained) {
-            stats_.syscall_stall_cycles += drained - app_time_;
-            app_time_ = drained;
+        ++producer.stats.syscall_drains;
+        if (producer.app_time < producer.drain_clock) {
+            Cycles stall = producer.drain_clock - producer.app_time;
+            stats_.syscall_stall_cycles += stall;
+            producer.stats.syscall_stall_cycles += stall;
+            producer.app_time = producer.drain_clock;
         }
     }
 
     ++stats_.app_instructions;
-    Cycles cost = 1 + hierarchy_.instrFetch(config_.app_core, retired.pc);
+    ++producer.stats.app_instructions;
+    Cycles cost =
+        1 + hierarchy_.instrFetch(producer.app_core, retired.pc);
     if (retired.mem_bytes > 0) {
-        cost += hierarchy_.dataAccess(config_.app_core, retired.mem_addr,
+        cost += hierarchy_.dataAccess(producer.app_core, retired.mem_addr,
                                       retired.mem_is_write);
     }
-    app_time_ += cost;
+    producer.app_time += cost;
     stats_.app_cycles += cost;
+    producer.stats.app_cycles += cost;
 }
 
 void
-PipelineTimer::noteSyscall()
+PipelineTimer::noteSyscall(unsigned producer)
 {
-    if (config_.syscall_stall) pending_drain_ = true;
+    LBA_ASSERT(producer < producers_.size(), "bad producer index");
+    if (config_.syscall_stall) producers_[producer].pending_drain = true;
+}
+
+Cycles
+PipelineTimer::finishShard(unsigned producer_idx, unsigned lane_idx,
+                           lifeguard::DispatchEngine& engine)
+{
+    LBA_ASSERT(!finished_, "finishShard() after seal()");
+    LBA_ASSERT(producer_idx < producers_.size(), "bad producer index");
+    LBA_ASSERT(lane_idx < lanes_.size(), "bad lane index");
+    Producer& producer = producers_[producer_idx];
+    Lane& lane = lanes_[lane_idx];
+    // The final pass runs once the producer's application has exited and
+    // the lane has consumed its last record; the cost lands on that
+    // lane's own clock, so an expensive final pass on one shard does not
+    // charge the rest.
+    Cycles fc = engine.finish();
+    lane.last_finish = std::max(producer.app_time, lane.last_finish) + fc;
+    lane.busy_cycles += fc;
+    producer.stats.lifeguard_busy_cycles += fc;
+    producer.drain_clock = std::max(producer.drain_clock, lane.last_finish);
+    return lane.last_finish;
+}
+
+void
+PipelineTimer::seal()
+{
+    LBA_ASSERT(!finished_, "seal() called twice");
+    finished_ = true;
+
+    Cycles end = 0;
+    std::uint64_t compressed_records = 0;
+    double compressed_bytes = 0.0;
+    for (Producer& producer : producers_) {
+        producer.stats.total_cycles =
+            std::max(producer.app_time, producer.drain_clock);
+        end = std::max(end, producer.stats.total_cycles);
+        producer.stats.bytes_per_record =
+            producer.compressor.bytesPerRecord();
+        producer.stats.mean_consume_lag = producer.consume_lag.mean();
+        compressed_records += producer.compressor.records();
+        compressed_bytes +=
+            static_cast<double>(producer.compressor.bits()) / 8.0;
+    }
+    stats_.lifeguard_busy_cycles = 0;
+    for (Lane& lane : lanes_) {
+        end = std::max(end, lane.last_finish);
+        stats_.lifeguard_busy_cycles += lane.busy_cycles;
+    }
+    stats_.total_cycles = end;
+    stats_.bytes_per_record =
+        compressed_records
+            ? compressed_bytes / static_cast<double>(compressed_records)
+            : 0.0;
+    stats_.mean_consume_lag = consume_lag_.mean();
 }
 
 void
 PipelineTimer::finishAll()
 {
-    LBA_ASSERT(!finished_, "finishAll() called twice");
-    finished_ = true;
-
-    // Each lane runs its end-of-program hook once the application has
-    // exited and the lane has consumed its last record; the cost lands
-    // on that lane's own clock (and its busy cycles via DispatchStats),
-    // so an expensive final pass on one shard does not charge the rest.
-    Cycles end = app_time_;
-    stats_.lifeguard_busy_cycles = 0;
-    for (Lane& lane : lanes_) {
-        Cycles fc = lane.dispatch->finish();
-        lane.last_finish = std::max(app_time_, lane.last_finish) + fc;
-        end = std::max(end, lane.last_finish);
-        stats_.lifeguard_busy_cycles += lane.dispatch->stats().total_cycles;
+    for (unsigned i = 0; i < lanes(); ++i) {
+        LBA_ASSERT(lanes_[i].dispatch,
+                   "finishAll() needs intrinsic dispatch engines");
+        finishShard(0, i, *lanes_[i].dispatch);
     }
-    stats_.total_cycles = end;
-    stats_.bytes_per_record = compressor_.bytesPerRecord();
-    stats_.mean_consume_lag = consume_lag_.mean();
+    seal();
+}
+
+const LbaRunStats&
+PipelineTimer::producerStats(unsigned producer) const
+{
+    LBA_ASSERT(producer < producers_.size(), "bad producer index");
+    return producers_[producer].stats;
+}
+
+Cycles
+PipelineTimer::producerTime(unsigned producer) const
+{
+    LBA_ASSERT(producer < producers_.size(), "bad producer index");
+    return producers_[producer].app_time;
 }
 
 const log::LogBufferStats&
@@ -215,6 +420,7 @@ const lifeguard::DispatchStats&
 PipelineTimer::dispatchStats(unsigned lane) const
 {
     LBA_ASSERT(lane < lanes_.size(), "bad lane index");
+    LBA_ASSERT(lanes_[lane].dispatch, "lane has no dispatch engine");
     return lanes_[lane].dispatch->stats();
 }
 
@@ -222,6 +428,7 @@ lifeguard::Lifeguard&
 PipelineTimer::lifeguard(unsigned lane) const
 {
     LBA_ASSERT(lane < lanes_.size(), "bad lane index");
+    LBA_ASSERT(lanes_[lane].lifeguard, "lane has no intrinsic lifeguard");
     return *lanes_[lane].lifeguard;
 }
 
@@ -236,7 +443,7 @@ Cycles
 PipelineTimer::laneBusyCycles(unsigned lane) const
 {
     LBA_ASSERT(lane < lanes_.size(), "bad lane index");
-    return lanes_[lane].dispatch->stats().total_cycles;
+    return lanes_[lane].busy_cycles;
 }
 
 std::uint64_t

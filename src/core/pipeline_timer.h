@@ -2,8 +2,9 @@
 /**
  * @file
  * The shared LBA timing engine: one implementation of the
- * produce/start/finish recurrence used by both the serial (LbaSystem)
- * and the parallel (ParallelLbaSystem) platforms.
+ * produce/start/finish recurrence used by the serial (LbaSystem), the
+ * parallel (ParallelLbaSystem) and the multi-tenant (sched::LifeguardPool)
+ * platforms.
  *
  * A PipelineTimer owns one or more *lanes*. Each lane models one
  * lifeguard core with its own dispatch engine, its own bounded log
@@ -21,8 +22,8 @@
  * The lane-L buffer slot for record i frees when the lane's record
  * i-capacity finishes, so a lifeguard that cannot keep up eventually
  * stalls the application. Syscall containment stalls the application at
- * the first retirement after a syscall until *every* lane has consumed
- * every record logged so far — including the annotation records the
+ * the first retirement after a syscall until every record the application
+ * logged so far has been consumed — including the annotation records the
  * syscall itself emitted.
  *
  * With a single lane this is exactly the paper's dual-core recurrence
@@ -30,9 +31,23 @@
  * extension (core/parallel.h). The serial system is the lane-count-1
  * special case by construction, which the shards=1 differential tests
  * assert cycle-for-cycle.
+ *
+ * Multi-tenant generalisation (src/sched/). The timer also supports
+ * multiple *producers*: independent monitored applications, each with its
+ * own application-core clock, log stream (compressor), back-pressure and
+ * containment state. Lanes are shared — records from different producers
+ * serialize on each lane's clock, which is how lifeguard capacity becomes
+ * a scheduled resource. In this mode the caller supplies the dispatch
+ * engine per delivery (a lane context-switches between tenants' lifeguard
+ * shards), so lanes are constructed without intrinsic lifeguards. With
+ * one producer whose targets are the identity shard->lane map, the
+ * recurrence is bit-for-bit the single-producer engine, which the
+ * one-tenant differential tests in tests/sched_test.cpp assert.
  */
 
+#include <cstddef>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -80,6 +95,19 @@ struct LbaConfig
     unsigned raw_record_bytes = 24;
 };
 
+/**
+ * Per-lane overrides for heterogeneous pools: a lane may have its own
+ * buffer size and transport bandwidth (e.g. one fat lane plus several
+ * thin ones). Values <= 0 inherit the LbaConfig-wide setting.
+ */
+struct LaneLimits
+{
+    /** Log buffer capacity in records (0 = LbaConfig::buffer_capacity). */
+    std::size_t buffer_capacity = 0;
+    /** Transport bytes/cycle (< 0 = LbaConfig value; 0 = unlimited). */
+    double transport_bytes_per_cycle = -1.0;
+};
+
 /** Timing/traffic statistics of one LBA run (aggregated over lanes). */
 struct LbaRunStats
 {
@@ -108,9 +136,10 @@ struct LbaRunStats
 };
 
 /**
- * The shared timing engine. Owns the compressor, the per-lane buffers
- * and dispatch engines, and the application-core clock; the systems on
- * top only decide routing (which lane a record goes to).
+ * The shared timing engine. Owns the per-producer compressors, the
+ * per-lane buffers and dispatch engines, and the application-core
+ * clocks; the systems on top only decide routing (which lane a record
+ * goes to).
  */
 class PipelineTimer
 {
@@ -118,48 +147,135 @@ class PipelineTimer
     /** Lane index meaning "deliver to every lane". */
     static constexpr unsigned kBroadcast = ~0u;
 
-    /**
-     * @param hierarchy  Shared cache hierarchy; needs a core for the
-     *                   application plus one per lane.
-     * @param config     Platform configuration (see LbaConfig).
-     * @param lifeguards One lifeguard per lane (not owned; must outlive
-     *                   the timer).
-     */
-    PipelineTimer(mem::CacheHierarchy& hierarchy, const LbaConfig& config,
-                  const std::vector<lifeguard::Lifeguard*>& lifeguards);
+    /** One delivery target of a multi-tenant record: the physical lane
+     *  that serializes it and the dispatch engine (tenant lifeguard
+     *  shard context) that consumes it. */
+    struct Target
+    {
+        unsigned lane = 0;
+        lifeguard::DispatchEngine* engine = nullptr;
+    };
+
+    /** Observes every consumed record (multi-tenant stats hook). */
+    using ConsumeObserver = std::function<void(
+        unsigned producer, unsigned lane, const log::EventRecord& record,
+        Cycles lag, Cycles cost, double bytes)>;
 
     /**
-     * Account one retirement on the application core: apply any pending
-     * syscall-containment drain, then charge fetch/memory cost.
+     * Intrinsic-dispatch mode: one lifeguard per lane, as used by the
+     * serial and parallel systems.
+     *
+     * @param hierarchy   Shared cache hierarchy; needs a core for the
+     *                    application plus one per lane.
+     * @param config      Platform configuration (see LbaConfig).
+     * @param lifeguards  One lifeguard per lane (not owned; must outlive
+     *                    the timer).
+     * @param lane_limits Optional per-lane overrides (empty = uniform).
      */
-    void retire(const sim::Retired& retired);
+    PipelineTimer(mem::CacheHierarchy& hierarchy, const LbaConfig& config,
+                  const std::vector<lifeguard::Lifeguard*>& lifeguards,
+                  const std::vector<LaneLimits>& lane_limits = {});
+
+    /**
+     * External-dispatch mode (multi-tenant pools): @p nlanes lanes with
+     * no intrinsic lifeguard; every log() call must carry the dispatch
+     * engine consuming on the target lane.
+     */
+    PipelineTimer(mem::CacheHierarchy& hierarchy, const LbaConfig& config,
+                  unsigned nlanes,
+                  const std::vector<LaneLimits>& lane_limits = {});
+
+    /**
+     * Register one more producer (monitored application) with its own
+     * clock, compressor, back-pressure and containment state. Producer 0
+     * always exists, on config.app_core.
+     * @return The new producer's index.
+     */
+    unsigned addProducer(unsigned app_core);
+
+    /**
+     * Account one retirement on @p producer's application core: apply
+     * any pending syscall-containment drain, then charge fetch/memory
+     * cost.
+     */
+    void retire(unsigned producer, const sim::Retired& retired);
+    void retire(const sim::Retired& retired) { retire(0, retired); }
 
     /**
      * Deliver one record to @p lane (or every lane with kBroadcast):
      * filtering, compression accounting, back-pressure, transport and
-     * dispatch timing.
+     * dispatch timing. Intrinsic-dispatch mode only.
      * @return False when the filter dropped the record.
      */
     bool log(const log::EventRecord& record, unsigned lane);
 
     /**
-     * Arm the containment drain: the application stalls at its next
-     * retirement until every lane has consumed all records logged so
-     * far. No-op unless config.syscall_stall.
+     * Deliver one record of @p producer to each target in order
+     * (external-dispatch mode). All target slots are reserved before any
+     * consumption, so produce(i) reflects the slowest target lane; a
+     * lane may appear more than once when several lifeguard shards fold
+     * onto it.
+     * @return False when the filter dropped the record.
      */
-    void noteSyscall();
+    bool log(unsigned producer, const log::EventRecord& record,
+             const std::vector<Target>& targets);
 
     /**
-     * Complete the run: run each lane's end-of-program hook after the
-     * application has exited and the lane has drained, charge it to
-     * that lane, and seal the aggregate stats. Call exactly once.
+     * Arm the containment drain: @p producer stalls at its next
+     * retirement until every record it has logged so far has been
+     * consumed. No-op unless config.syscall_stall.
+     */
+    void noteSyscall(unsigned producer = 0);
+
+    /**
+     * Complete an intrinsic-dispatch run: run each lane's end-of-program
+     * hook after the application has exited and the lane has drained,
+     * charge it to that lane, and seal the aggregate stats. Call exactly
+     * once.
      */
     void finishAll();
 
-    /** Aggregate statistics (totals valid after finishAll()). */
+    /**
+     * External-dispatch end-of-program hook: run @p engine's finish pass
+     * once @p producer's application has exited and @p lane has drained;
+     * the cost lands on that lane's clock.
+     * @return The lane's new last-finish time.
+     */
+    Cycles finishShard(unsigned producer, unsigned lane,
+                       lifeguard::DispatchEngine& engine);
+
+    /**
+     * Seal the aggregate and per-producer statistics after every
+     * finishShard() call. finishAll() = per-lane finishShard + seal().
+     * Call exactly once.
+     */
+    void seal();
+
+    /** Aggregate statistics (totals valid after finishAll()/seal()). */
     const LbaRunStats& stats() const { return stats_; }
 
+    /**
+     * One producer's slice of the run: its own app/stall cycles, its
+     * records, its log stream's bytes-per-record, its consume lag, and
+     * (after seal()) its completion time in total_cycles.
+     */
+    const LbaRunStats& producerStats(unsigned producer) const;
+
+    /** Current app-core clock of @p producer. */
+    Cycles producerTime(unsigned producer) const;
+
+    unsigned producers() const
+    {
+        return static_cast<unsigned>(producers_.size());
+    }
+
     unsigned lanes() const { return static_cast<unsigned>(lanes_.size()); }
+
+    /** Install a per-consumed-record observer (nullptr to remove). */
+    void setConsumeObserver(ConsumeObserver observer)
+    {
+        consume_observer_ = std::move(observer);
+    }
 
     const log::LogBufferStats& bufferStats(unsigned lane) const;
     const lifeguard::DispatchStats& dispatchStats(unsigned lane) const;
@@ -178,9 +294,10 @@ class PipelineTimer
     /** Cycles this lane's consumption waited on its transport. */
     Cycles laneTransportWaitCycles(unsigned lane) const;
 
+    /** Producer 0's compressor (the log stream of a single-app run). */
     const compress::LogCompressor& compressor() const
     {
-        return compressor_;
+        return producers_.front().compressor;
     }
 
   private:
@@ -195,6 +312,10 @@ class PipelineTimer
         Cycles last_finish = 0;
         /** Cycle at which the lane transport delivers its last byte. */
         double transport_free = 0.0;
+        /** This lane's transport bandwidth (0 = unlimited). */
+        double bytes_per_cycle = 0.0;
+        /** Cycles this lane's core spent consuming and finishing. */
+        Cycles busy_cycles = 0;
         stats::Summary consume_lag;
         double transport_bytes = 0.0;
         Cycles transport_wait_cycles = 0;
@@ -203,29 +324,58 @@ class PipelineTimer
         explicit Lane(std::size_t capacity) : buffer(capacity) {}
     };
 
+    /** One monitored application feeding the shared lanes. */
+    struct Producer
+    {
+        unsigned app_core = 0;
+        /** Application core clock. */
+        Cycles app_time = 0;
+        /** Containment drain is applied before the next retirement. */
+        bool pending_drain = false;
+        /** Latest finish time over this producer's consumed records. */
+        Cycles drain_clock = 0;
+        /** This producer's log stream (per-tenant compression state). */
+        compress::LogCompressor compressor;
+        stats::Summary consume_lag;
+        LbaRunStats stats;
+    };
+
+    /** Shared lane construction for both constructor modes. */
+    void buildLanes(unsigned nlanes,
+                    const std::vector<lifeguard::Lifeguard*>& lifeguards,
+                    const std::vector<LaneLimits>& lane_limits);
+
     /** True when the filter drops this record. */
     bool filtered(const log::EventRecord& record) const;
 
     /** Bytes this record costs on a transport link. */
-    double transportCost(const log::EventRecord& record);
+    double transportCost(Producer& producer,
+                         const log::EventRecord& record);
 
-    /** Free a slot in @p lane, stalling the app if needed. */
-    void reserveSlot(Lane& lane);
+    /** Free @p needed slots in @p lane, stalling @p producer if
+     *  needed. */
+    void reserveSlots(Producer& producer, Lane& lane,
+                      std::size_t needed);
 
     /** Run the recurrence for one record on one lane. */
-    void consumeOn(Lane& lane, const log::EventRecord& record,
-                   Cycles produced_at, double record_bytes);
+    void consumeOn(Producer& producer, Lane& lane,
+                   lifeguard::DispatchEngine& engine,
+                   const log::EventRecord& record, Cycles produced_at,
+                   double record_bytes);
+
+    /** Shared filtering + compression prologue of both log() variants. */
+    bool admitRecord(Producer& producer, const log::EventRecord& record,
+                     double* record_bytes);
 
     mem::CacheHierarchy& hierarchy_;
     LbaConfig config_;
-    compress::LogCompressor compressor_;
     std::vector<Lane> lanes_;
+    std::vector<Producer> producers_;
 
-    /** Application core clock. */
-    Cycles app_time_ = 0;
-    /** Containment drain is applied before the next retirement. */
-    bool pending_drain_ = false;
+    /** Scratch: per-lane slot demand of one multi-target record. */
+    std::vector<std::pair<unsigned, std::size_t>> lane_demand_;
 
+    ConsumeObserver consume_observer_;
     stats::Summary consume_lag_;
     LbaRunStats stats_;
     bool finished_ = false;

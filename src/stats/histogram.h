@@ -80,6 +80,46 @@ class Histogram
         return (buckets_.size() + 1) * width_;
     }
 
+    /**
+     * Point estimate of the @p fraction quantile (e.g. 0.5, 0.95, 0.99),
+     * linearly interpolated within the containing bucket (samples are
+     * assumed uniform inside a bucket). Overflowed samples are treated
+     * as landing in one virtual bucket just past the last edge, so a
+     * heavy overflow tail saturates at that edge rather than fabricating
+     * values. Returns 0 when empty.
+     */
+    double
+    percentile(double fraction) const
+    {
+        LBA_ASSERT(fraction >= 0.0 && fraction <= 1.0,
+                   "fraction must be in [0,1]");
+        if (count_ == 0) return 0.0;
+        double target = fraction * static_cast<double>(count_);
+        double seen = 0.0;
+        for (std::size_t i = 0; i < buckets_.size(); ++i) {
+            double next = seen + static_cast<double>(buckets_[i]);
+            if (next >= target && buckets_[i] > 0) {
+                double within =
+                    (target - seen) / static_cast<double>(buckets_[i]);
+                return (static_cast<double>(i) + within) *
+                       static_cast<double>(width_);
+            }
+            seen = next;
+        }
+        // Quantile falls in the overflow tail.
+        double spill = static_cast<double>(overflow_);
+        double within = spill > 0.0 ? (target - seen) / spill : 1.0;
+        return (static_cast<double>(buckets_.size()) + within) *
+               static_cast<double>(width_);
+    }
+
+    /** Median estimate (see percentile()). */
+    double p50() const { return percentile(0.50); }
+    /** 95th-percentile estimate (see percentile()). */
+    double p95() const { return percentile(0.95); }
+    /** 99th-percentile estimate (see percentile()). */
+    double p99() const { return percentile(0.99); }
+
   private:
     std::vector<std::uint64_t> buckets_;
     std::uint64_t width_;

@@ -1,0 +1,208 @@
+#pragma once
+/**
+ * @file
+ * Minimal streaming JSON writer for machine-readable stats emission
+ * (the `--json` flag of lba_run and the benches). No parsing, no DOM —
+ * just correctly escaped, correctly comma'd output, so benchmark
+ * results can be collected into BENCH_results.json and tracked across
+ * commits.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace lba::stats {
+
+/** Escape a string for use inside a JSON string literal. */
+inline std::string
+jsonEscape(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Streaming writer producing compact JSON.
+ *
+ * @code
+ *   JsonWriter json;
+ *   json.beginObject();
+ *   json.key("bench");
+ *   json.value("ablation_sched");
+ *   json.key("rows");
+ *   json.beginArray();
+ *   ...
+ *   json.endArray();
+ *   json.endObject();
+ *   std::string text = json.str();
+ * @endcode
+ */
+class JsonWriter
+{
+  public:
+    void
+    beginObject()
+    {
+        prefix();
+        out_ += '{';
+        first_.push_back(true);
+    }
+
+    void
+    endObject()
+    {
+        pop();
+        out_ += '}';
+    }
+
+    void
+    beginArray()
+    {
+        prefix();
+        out_ += '[';
+        first_.push_back(true);
+    }
+
+    void
+    endArray()
+    {
+        pop();
+        out_ += ']';
+    }
+
+    void
+    key(const std::string& name)
+    {
+        prefix();
+        out_ += '"';
+        out_ += jsonEscape(name);
+        out_ += "\":";
+        after_key_ = true;
+    }
+
+    void
+    value(const std::string& text)
+    {
+        prefix();
+        out_ += '"';
+        out_ += jsonEscape(text);
+        out_ += '"';
+    }
+
+    void value(const char* text) { value(std::string(text)); }
+
+    void
+    value(double number)
+    {
+        prefix();
+        if (!std::isfinite(number)) {
+            out_ += "null";
+            return;
+        }
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.10g", number);
+        out_ += buf;
+    }
+
+    void
+    value(std::uint64_t number)
+    {
+        prefix();
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(number));
+        out_ += buf;
+    }
+
+    void
+    value(bool flag)
+    {
+        prefix();
+        out_ += flag ? "true" : "false";
+    }
+
+    /** Splice @p rendered — a complete, pre-rendered JSON value — in
+     *  as the next value (e.g. Table::toJson() output). */
+    void
+    raw(const std::string& rendered)
+    {
+        prefix();
+        out_ += rendered;
+    }
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    field(const std::string& name, const T& v)
+    {
+        key(name);
+        value(v);
+    }
+
+    /** The document written so far (complete once nesting is closed). */
+    const std::string& str() const { return out_; }
+
+    /** True when every beginObject/beginArray has been closed. */
+    bool complete() const { return first_.empty() && !out_.empty(); }
+
+  private:
+    void
+    prefix()
+    {
+        if (after_key_) {
+            after_key_ = false;
+            return;
+        }
+        if (first_.empty()) return;
+        if (!first_.back()) out_ += ',';
+        first_.back() = false;
+    }
+
+    void
+    pop()
+    {
+        LBA_ASSERT(!first_.empty(), "unbalanced JSON nesting");
+        LBA_ASSERT(!after_key_, "key without a value");
+        first_.pop_back();
+    }
+
+    std::string out_;
+    std::vector<bool> first_;
+    bool after_key_ = false;
+};
+
+} // namespace lba::stats

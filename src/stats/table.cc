@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "common/assert.h"
+#include "stats/json.h"
 
 namespace lba::stats {
 
@@ -96,6 +97,22 @@ Table::toCsv() const
         emit_row(row);
     }
     return out.str();
+}
+
+std::string
+Table::toJson() const
+{
+    JsonWriter json;
+    json.beginArray();
+    for (const auto& row : rows_) {
+        json.beginObject();
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            json.field(headers_[c], row[c]);
+        }
+        json.endObject();
+    }
+    json.endArray();
+    return json.str();
 }
 
 std::string

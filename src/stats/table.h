@@ -38,6 +38,12 @@ class Table
     /** Render as CSV (RFC-4180-style quoting for commas/quotes). */
     std::string toCsv() const;
 
+    /**
+     * Render as a JSON array of row objects keyed by the column
+     * headers (cells stay strings; consumers parse numbers as needed).
+     */
+    std::string toJson() const;
+
   private:
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;

@@ -226,5 +226,139 @@ TEST(PipelineTimer, FilterDropsBeforeAnyAccounting)
     EXPECT_EQ(timer.stats().transport_bytes, 8.0);
 }
 
+TEST(PipelineTimer, MixedLaneTransportBandwidths)
+{
+    // Heterogeneous pool: lane 0 drains 2 B/cycle, lane 1 only 1
+    // B/cycle, in one timer. 4-byte raw records: lane 0 delivers at
+    // t=2 (wait 2), lane 1 at t=4 (wait 4).
+    mem::CacheHierarchy hierarchy(cores(3));
+    LbaConfig config;
+    config.compress = false;
+    config.raw_record_bytes = 4;
+    config.transport_bytes_per_cycle = 9.0; // overridden per lane
+    FixedCostLifeguard a(0), b(0);
+    std::vector<LaneLimits> limits(2);
+    limits[0].transport_bytes_per_cycle = 2.0;
+    limits[1].transport_bytes_per_cycle = 1.0;
+    PipelineTimer timer(hierarchy, config, {&a, &b}, limits);
+
+    timer.log(aluRecord(), 0);
+    timer.log(aluRecord(), 1);
+
+    EXPECT_EQ(timer.laneTransportWaitCycles(0), 2u);
+    EXPECT_EQ(timer.laneTransportWaitCycles(1), 4u);
+    EXPECT_EQ(timer.stats().transport_wait_cycles, 6u);
+    // start = deliver, so per-lane lag equals the transport wait.
+    EXPECT_DOUBLE_EQ(timer.laneMeanConsumeLag(0), 2.0);
+    EXPECT_DOUBLE_EQ(timer.laneMeanConsumeLag(1), 4.0);
+}
+
+TEST(PipelineTimer, MixedLaneBufferCapacities)
+{
+    // Lane 0 holds a single record while lane 1 inherits the
+    // config-wide capacity of 2: only the small lane back-pressures.
+    mem::CacheHierarchy hierarchy(cores(3));
+    LbaConfig config;
+    config.buffer_capacity = 2;
+    FixedCostLifeguard a(10), b(10); // consume cost = 11
+    std::vector<LaneLimits> limits(2);
+    limits[0].buffer_capacity = 1;
+    PipelineTimer timer(hierarchy, config, {&a, &b}, limits);
+
+    // Lane 1 first: two records fit without stalling.
+    timer.log(aluRecord(), 1);
+    timer.log(aluRecord(), 1);
+    EXPECT_EQ(timer.stats().backpressure_stall_cycles, 0u);
+
+    // Lane 0: the second record must wait for the first to finish at
+    // cycle 11 before its slot frees.
+    timer.log(aluRecord(), 0);
+    timer.log(aluRecord(), 0);
+    EXPECT_EQ(timer.stats().backpressure_stall_cycles, 11u);
+    EXPECT_EQ(timer.bufferStats(0).max_occupancy, 1u);
+    EXPECT_EQ(timer.bufferStats(1).max_occupancy, 2u);
+    // The stalled producer's clock moved to 11, so lane 0's second
+    // record starts there and finishes at 22.
+    EXPECT_EQ(timer.laneLastFinish(0), 22u);
+}
+
+TEST(PipelineTimer, MultiProducerSharedLaneSerializes)
+{
+    // Two producers (apps on cores 0 and 2) share one lane (core 1)
+    // through the external-dispatch API: the lane serializes their
+    // records, each producer keeps its own clock, lag and busy slice.
+    mem::CacheHierarchy hierarchy(cores(3));
+    LbaConfig config;
+    config.compress = false;
+    PipelineTimer timer(hierarchy, config, 1u);
+    unsigned p1 = timer.addProducer(2);
+    EXPECT_EQ(p1, 1u);
+    EXPECT_EQ(timer.producers(), 2u);
+
+    // Consume costs 3 and 6; finish passes cost 1 and 2.
+    FixedCostLifeguard cheap(2, 1), dear(5, 2);
+    lifeguard::DispatchConfig dc{1, 1};
+    lifeguard::DispatchEngine engine_a(cheap, hierarchy, dc);
+    lifeguard::DispatchEngine engine_b(dear, hierarchy, dc);
+
+    // P0 consumes [0,3); P1's record, produced at 0, queues behind it:
+    // start 3, finish 9.
+    timer.log(0, aluRecord(), {{0, &engine_a}});
+    timer.log(1, aluRecord(), {{0, &engine_b}});
+    EXPECT_EQ(timer.laneLastFinish(0), 9u);
+    EXPECT_EQ(timer.laneRecords(0), 2u);
+
+    // The final passes serialize on the shared lane too: P0's ends at
+    // 9 + 1, P1's at 10 + 2.
+    timer.finishShard(0, 0, engine_a);
+    timer.finishShard(1, 0, engine_b);
+    timer.seal();
+
+    EXPECT_EQ(timer.producerStats(0).total_cycles, 10u);
+    EXPECT_EQ(timer.producerStats(1).total_cycles, 12u);
+    // P0's record never waited; P1's waited 3 cycles behind P0's.
+    EXPECT_DOUBLE_EQ(timer.producerStats(0).mean_consume_lag, 0.0);
+    EXPECT_DOUBLE_EQ(timer.producerStats(1).mean_consume_lag, 3.0);
+    EXPECT_EQ(timer.producerStats(0).lifeguard_busy_cycles, 4u);
+    EXPECT_EQ(timer.producerStats(1).lifeguard_busy_cycles, 8u);
+    EXPECT_EQ(timer.producerStats(0).records_logged, 1u);
+    EXPECT_EQ(timer.producerStats(1).records_logged, 1u);
+    // Aggregates sum both producers; the lane's busy time is the sum
+    // of both engines' work.
+    EXPECT_EQ(timer.stats().records_logged, 2u);
+    EXPECT_EQ(timer.stats().lifeguard_busy_cycles, 12u);
+    EXPECT_EQ(timer.stats().total_cycles, 12u);
+    EXPECT_DOUBLE_EQ(timer.stats().mean_consume_lag, 1.5);
+}
+
+TEST(PipelineTimer, MultiProducerIndependentDrains)
+{
+    // A containment drain stalls only the producer whose records are
+    // outstanding: P0's syscall waits for P0's record, not P1's
+    // backlog.
+    mem::CacheHierarchy hierarchy(cores(3));
+    LbaConfig config;
+    PipelineTimer timer(hierarchy, config, 1u);
+    timer.addProducer(2);
+
+    FixedCostLifeguard cheap(2), dear(40); // costs 3 and 41
+    lifeguard::DispatchConfig dc{1, 1};
+    lifeguard::DispatchEngine engine_a(cheap, hierarchy, dc);
+    lifeguard::DispatchEngine engine_b(dear, hierarchy, dc);
+
+    // P0's record finishes at 3; P1's queues behind it until 44.
+    timer.log(0, aluRecord(), {{0, &engine_a}});
+    timer.log(1, aluRecord(), {{0, &engine_b}});
+
+    timer.noteSyscall(0);
+    sim::Retired retired;
+    retired.pc = 0x1000;
+    timer.retire(0, retired);
+    // P0 drains to its own record's finish (3), not to P1's 44.
+    EXPECT_EQ(timer.producerStats(0).syscall_stall_cycles, 3u);
+    EXPECT_EQ(timer.producerStats(0).syscall_drains, 1u);
+    EXPECT_EQ(timer.producerStats(1).syscall_drains, 0u);
+}
+
 } // namespace
 } // namespace lba::core

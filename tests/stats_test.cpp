@@ -101,6 +101,53 @@ TEST(Histogram, PercentileUpperBound)
     EXPECT_EQ(h.percentileUpperBound(0.99), 100u);
 }
 
+TEST(Histogram, PercentileInterpolatesWithinBucket)
+{
+    // 100 samples in bucket [0,10): the quantile is interpolated
+    // linearly through the bucket.
+    Histogram h(10, 10);
+    for (int i = 0; i < 100; ++i) h.record(3);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+    EXPECT_DOUBLE_EQ(h.p95(), 9.5);
+    EXPECT_DOUBLE_EQ(h.p99(), 9.9);
+}
+
+TEST(Histogram, PercentileAcrossBuckets)
+{
+    // 90 samples in [0,10), 10 in [90,100): the tail quantiles land in
+    // the far bucket at its interpolated offset.
+    Histogram h(10, 10);
+    for (int i = 0; i < 90; ++i) h.record(5);
+    for (int i = 0; i < 10; ++i) h.record(95);
+    EXPECT_NEAR(h.percentile(0.5), 50.0 / 9.0, 1e-9);
+    EXPECT_DOUBLE_EQ(h.p95(), 95.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 99.0);
+    // Percentiles are monotone in the queried fraction.
+    EXPECT_LE(h.p50(), h.p95());
+    EXPECT_LE(h.p95(), h.p99());
+}
+
+TEST(Histogram, PercentileOverflowSaturatesPastLastEdge)
+{
+    // Half the samples blow past the last bucket: tail quantiles
+    // saturate inside one virtual bucket after the last edge instead
+    // of extrapolating to the (unknown) true values.
+    Histogram h(4, 10);
+    for (int i = 0; i < 50; ++i) h.record(5);
+    for (int i = 0; i < 50; ++i) h.record(1000);
+    EXPECT_DOUBLE_EQ(h.p50(), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), (4.0 + 49.0 / 50.0) * 10.0);
+    EXPECT_LE(h.percentile(1.0), 50.0);
+}
+
+TEST(Histogram, PercentileOfEmptyHistogramIsZero)
+{
+    Histogram h(4, 10);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+}
+
 TEST(Table, AlignsColumns)
 {
     Table t({"name", "value"});

@@ -8,6 +8,13 @@
  *           [--instrs N] [--platform lba|dbi|both] [--shards N]
  *           [--transport-bw BYTES_PER_CYCLE]
  *           [--bugs uaf,double-free,leak,tainted-jump,race]
+ *           [--tenants N] [--lanes M] [--sched static|rr|lag]
+ *           [--json PATH]
+ *
+ * With --tenants N the benchmark argument may be a comma-separated
+ * list of profiles; the N tenants cycle through it and share an M-lane
+ * lifeguard pool under the chosen scheduling policy (src/sched/).
+ * --json writes a machine-readable copy of the report to PATH.
  */
 
 #include <cstdio>
@@ -15,11 +22,14 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/runner.h"
 #include "lifeguards/addrcheck.h"
 #include "lifeguards/lockset.h"
 #include "lifeguards/taintcheck.h"
+#include "sched/pool.h"
+#include "stats/json.h"
 #include "workload/generator.h"
 #include "workload/profile.h"
 
@@ -32,10 +42,14 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: lba_run <benchmark> <addrcheck|taintcheck|lockset>\n"
+        "usage: lba_run <benchmark[,benchmark...]> "
+        "<addrcheck|taintcheck|lockset>\n"
         "               [--instrs N] [--platform lba|dbi|both]\n"
         "               [--shards N] [--transport-bw BYTES_PER_CYCLE]\n"
-        "               [--bugs uaf,double-free,leak,tainted-jump,race]\n");
+        "               [--bugs uaf,double-free,leak,tainted-jump,race]\n"
+        "               [--tenants N] [--lanes M] "
+        "[--sched static|rr|lag]\n"
+        "               [--json PATH]\n");
     return 2;
 }
 
@@ -82,6 +96,156 @@ printResult(const core::PlatformResult& result)
     }
 }
 
+void
+appendResultJson(stats::JsonWriter& json,
+                 const core::PlatformResult& result)
+{
+    json.beginObject();
+    json.field("platform", result.platform);
+    json.field("instructions", result.instructions);
+    json.field("cycles", static_cast<std::uint64_t>(result.cycles));
+    json.field("slowdown", result.slowdown);
+    json.field("findings",
+               static_cast<std::uint64_t>(result.findings.size()));
+    if (result.platform == "lba") {
+        json.field("bytes_per_record", result.lba.bytes_per_record);
+        json.field("mean_consume_lag", result.lba.mean_consume_lag);
+    }
+    if (result.platform == "lba-parallel") {
+        json.field("bytes_per_record",
+                   result.parallel.bytes_per_record);
+        json.field("shards",
+                   static_cast<std::uint64_t>(
+                       result.parallel.shard_busy_cycles.size()));
+    }
+    json.endObject();
+}
+
+/** Write @p json to @p path ("" = disabled). */
+void
+writeJson(const std::string& path, const stats::JsonWriter& json)
+{
+    if (path.empty()) return;
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (!file) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(file, "%s\n", json.str().c_str());
+    std::fclose(file);
+}
+
+/** Split a comma-separated benchmark list. */
+std::vector<std::string>
+splitList(const std::string& list)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= list.size()) {
+        std::size_t comma = list.find(',', start);
+        if (comma == std::string::npos) comma = list.size();
+        if (comma > start) out.push_back(list.substr(start, comma - start));
+        start = comma + 1;
+    }
+    return out;
+}
+
+int
+runMultiTenant(const std::vector<std::string>& benchmarks,
+               const std::string& lifeguard_name,
+               const core::LifeguardFactory& factory,
+               std::uint64_t instrs, unsigned tenants, unsigned lanes,
+               sched::Policy policy, double transport_bw,
+               const workload::BugInjection& bugs,
+               const std::string& json_path)
+{
+    sched::PoolConfig config;
+    config.lanes = lanes;
+    config.policy = policy;
+    config.lba.transport_bytes_per_cycle = transport_bw;
+    sched::LifeguardPool pool(config, factory);
+
+    for (unsigned t = 0; t < tenants; ++t) {
+        const std::string& name = benchmarks[t % benchmarks.size()];
+        const workload::Profile* profile = workload::findProfile(name);
+        if (!profile) {
+            std::fprintf(stderr, "unknown benchmark '%s'\n",
+                         name.c_str());
+            return 1;
+        }
+        auto generated = workload::generate(*profile, bugs, instrs);
+        sched::TenantConfig tenant;
+        tenant.name = name + "#" + std::to_string(t);
+        tenant.program = generated.program;
+        // Distinct input streams so tenants are not in lockstep.
+        tenant.process.input_seed = 0x1234abcd + t;
+        pool.addTenant(std::move(tenant));
+    }
+    sched::PoolResult result = pool.run();
+
+    std::printf("%u tenants on a %u-lane %s pool, policy %s "
+                "(capacity %.1f B/cycle, %llu lane steals)\n\n",
+                tenants, lanes, lifeguard_name.c_str(),
+                result.policy.c_str(), result.capacity_bytes_per_cycle,
+                static_cast<unsigned long long>(result.lane_steals));
+    std::printf("%-12s %-8s %12s %9s %8s %8s %8s %9s\n", "tenant",
+                "status", "cycles", "slowdown", "lag p50", "lag p95",
+                "lag p99", "findings");
+    for (const sched::TenantStats& tenant : result.tenants) {
+        const char* status = tenant.rejected
+                                 ? "rejected"
+                                 : (tenant.was_queued ? "queued" : "ok");
+        std::printf("%-12s %-8s %12llu %8.2fx %8.1f %8.1f %8.1f %9zu\n",
+                    tenant.name.c_str(), status,
+                    static_cast<unsigned long long>(tenant.total_cycles),
+                    tenant.slowdown, tenant.lag_p50, tenant.lag_p95,
+                    tenant.lag_p99, tenant.findings.size());
+    }
+    std::printf("\nmakespan %llu cycles; pool busy %llu lifeguard "
+                "cycles over %u lanes\n",
+                static_cast<unsigned long long>(result.total_cycles),
+                static_cast<unsigned long long>(
+                    result.aggregate.lifeguard_busy_cycles),
+                lanes);
+
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("tool", "lba_run");
+    json.field("mode", "multi-tenant");
+    json.field("lifeguard", lifeguard_name);
+    json.field("policy", result.policy);
+    json.field("lanes", static_cast<std::uint64_t>(lanes));
+    json.field("capacity_bytes_per_cycle",
+               result.capacity_bytes_per_cycle);
+    json.field("lane_steals", result.lane_steals);
+    json.field("makespan_cycles",
+               static_cast<std::uint64_t>(result.total_cycles));
+    json.key("tenants");
+    json.beginArray();
+    for (const sched::TenantStats& tenant : result.tenants) {
+        json.beginObject();
+        json.field("name", tenant.name);
+        json.field("admitted", tenant.admitted);
+        json.field("queued", tenant.was_queued);
+        json.field("rejected", tenant.rejected);
+        json.field("instructions", tenant.instructions);
+        json.field("cycles",
+                   static_cast<std::uint64_t>(tenant.total_cycles));
+        json.field("slowdown", tenant.slowdown);
+        json.field("lag_p50", tenant.lag_p50);
+        json.field("lag_p95", tenant.lag_p95);
+        json.field("lag_p99", tenant.lag_p99);
+        json.field("transport_bytes", tenant.lba.transport_bytes);
+        json.field("findings",
+                   static_cast<std::uint64_t>(tenant.findings.size()));
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    writeJson(json_path, json);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -94,7 +258,11 @@ main(int argc, char** argv)
     std::uint64_t instrs = 250000;
     std::string platform = "both";
     unsigned shards = 0;
+    unsigned tenants = 0;
+    unsigned lanes = 2;
+    sched::Policy policy = sched::Policy::kStatic;
     double transport_bw = 0.0;
+    std::string json_path;
     workload::BugInjection bugs;
     for (int i = 3; i < argc; ++i) {
         std::string arg = argv[i];
@@ -105,8 +273,18 @@ main(int argc, char** argv)
         } else if (arg == "--shards" && i + 1 < argc) {
             shards = static_cast<unsigned>(
                 std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--tenants" && i + 1 < argc) {
+            tenants = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--lanes" && i + 1 < argc) {
+            lanes = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg == "--sched" && i + 1 < argc) {
+            if (!sched::parsePolicy(argv[++i], &policy)) return usage();
         } else if (arg == "--transport-bw" && i + 1 < argc) {
             transport_bw = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
         } else if (arg == "--bugs" && i + 1 < argc) {
             std::string list = argv[++i];
             bugs.use_after_free = list.find("uaf") != std::string::npos;
@@ -119,13 +297,6 @@ main(int argc, char** argv)
         } else {
             return usage();
         }
-    }
-
-    const workload::Profile* profile = workload::findProfile(benchmark);
-    if (!profile) {
-        std::fprintf(stderr, "unknown benchmark '%s'\n",
-                     benchmark.c_str());
-        return 1;
     }
 
     core::LifeguardFactory factory;
@@ -145,6 +316,24 @@ main(int argc, char** argv)
         return usage();
     }
 
+    if (tenants > 0) {
+        // Malformed --lanes (strtoul yields 0) is a CLI error, not a
+        // library invariant violation.
+        if (lanes == 0) return usage();
+        auto benchmarks = splitList(benchmark);
+        if (benchmarks.empty()) return usage();
+        return runMultiTenant(benchmarks, lifeguard_name, factory,
+                              instrs, tenants, lanes, policy,
+                              transport_bw, bugs, json_path);
+    }
+
+    const workload::Profile* profile = workload::findProfile(benchmark);
+    if (!profile) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n",
+                     benchmark.c_str());
+        return 1;
+    }
+
     auto generated = workload::generate(*profile, bugs, instrs);
     core::ExperimentConfig config;
     // The parallel platform inherits the same knob through
@@ -158,16 +347,36 @@ main(int argc, char** argv)
                 static_cast<unsigned long long>(base.instructions),
                 static_cast<double>(base.cycles) /
                     static_cast<double>(base.instructions));
+    std::vector<core::PlatformResult> results;
     printResult(base);
+    results.push_back(base);
     if (platform == "lba" || platform == "both") {
         if (shards > 1) {
-            printResult(experiment.runParallelLba(factory, shards));
+            results.push_back(
+                experiment.runParallelLba(factory, shards));
         } else {
-            printResult(experiment.runLba(factory));
+            results.push_back(experiment.runLba(factory));
         }
+        printResult(results.back());
     }
     if (platform == "dbi" || platform == "both") {
-        printResult(experiment.runDbi(factory));
+        results.push_back(experiment.runDbi(factory));
+        printResult(results.back());
     }
+
+    stats::JsonWriter json;
+    json.beginObject();
+    json.field("tool", "lba_run");
+    json.field("mode", "single");
+    json.field("benchmark", benchmark);
+    json.field("lifeguard", lifeguard_name);
+    json.key("results");
+    json.beginArray();
+    for (const core::PlatformResult& result : results) {
+        appendResultJson(json, result);
+    }
+    json.endArray();
+    json.endObject();
+    writeJson(json_path, json);
     return 0;
 }

@@ -4,7 +4,11 @@
 #
 # Usage: scripts/run_all_benches.sh [build-dir]
 # Scale with LBA_BENCH_INSTRS (dynamic instructions per benchmark;
-# default 250k — see docs/BENCHMARKS.md).
+# default 250k — see docs/BENCHMARKS.md). With LBA_BENCH_SMOKE=1 a
+# missed claim check is reported but does not fail the run (small
+# instruction budgets legitimately miss paper targets before
+# predictors and caches warm up) — CI uses this to keep the
+# BENCH_results.json trajectory accumulating on every push.
 set -eu
 
 build_dir="${1:-build}"
@@ -38,6 +42,7 @@ done
 # aborting the suite. Targets can be missed at very small
 # LBA_BENCH_INSTRS budgets before predictors/caches warm up.
 failed=""
+crashed=""
 for bench in $benches; do
     if [ ! -x "$build_dir/$bench" ]; then
         echo "skip  $bench (not built)"
@@ -45,19 +50,37 @@ for bench in $benches; do
     fi
     echo "run   $bench"
     # --json is ignored by benches without machine-readable output.
-    if ! "$build_dir/$bench" --json "$out_dir/$bench.json" \
-        >"$out_dir/$bench.txt"; then
+    status=0
+    "$build_dir/$bench" --json "$out_dir/$bench.json" \
+        >"$out_dir/$bench.txt" || status=$?
+    if [ "$status" -ge 126 ]; then
+        # Signal death / exec failure, not a claim-check miss: never
+        # forgiven, and the possibly-truncated JSON must not poison
+        # the merge below.
+        echo "CRASH $bench (exit $status; see $out_dir/$bench.txt)"
+        rm -f "$out_dir/$bench.json"
+        crashed="$crashed $bench"
+    elif [ "$status" -ne 0 ]; then
         echo "FAIL  $bench (claim check missed; see $out_dir/$bench.txt)"
         failed="$failed $bench"
     fi
 done
 
 # google-benchmark based; present only when the library was found.
+# Same crash classification as the discovered benches: a signal death
+# must not abort the script (set -e) before the merge below.
 if [ -x "$build_dir/micro_compressor" ]; then
     echo "run   micro_compressor"
+    status=0
     "$build_dir/micro_compressor" \
         --benchmark_out="$out_dir/micro_compressor.json" \
-        --benchmark_out_format=json >"$out_dir/micro_compressor.txt"
+        --benchmark_out_format=json \
+        >"$out_dir/micro_compressor.txt" || status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "CRASH micro_compressor (exit $status)"
+        rm -f "$out_dir/micro_compressor.json"
+        crashed="$crashed micro_compressor"
+    fi
 fi
 
 # Collect every machine-readable result into one document so the perf
@@ -77,7 +100,15 @@ results="$build_dir/BENCH_results.json"
 echo "combined JSON in $results"
 
 echo "results in $out_dir/"
+if [ -n "$crashed" ]; then
+    echo "benches crashed:$crashed" >&2
+    exit 1
+fi
 if [ -n "$failed" ]; then
     echo "claim checks missed:$failed" >&2
+    if [ "${LBA_BENCH_SMOKE:-}" = 1 ]; then
+        echo "smoke mode: not failing the run" >&2
+        exit 0
+    fi
     exit 1
 fi

@@ -82,6 +82,9 @@ class LbaSystem : public sim::RetireObserver
 
     lifeguard::Lifeguard& lifeguard() { return timer_.lifeguard(0); }
 
+    /** The underlying timing engine (containment integration). */
+    PipelineTimer& timer() { return timer_; }
+
   private:
     PipelineTimer timer_;
 };

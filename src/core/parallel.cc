@@ -128,4 +128,13 @@ ParallelLbaSystem::allFindings() const
     return mergeShardFindings(lifeguards_);
 }
 
+std::vector<const lifeguard::Lifeguard*>
+ParallelLbaSystem::shardLifeguards() const
+{
+    std::vector<const lifeguard::Lifeguard*> out;
+    out.reserve(lifeguards_.size());
+    for (const auto& guard : lifeguards_) out.push_back(guard.get());
+    return out;
+}
+
 } // namespace lba::core

@@ -119,6 +119,12 @@ class ParallelLbaSystem : public sim::RetireObserver
 
     unsigned shards() const { return timer_->lanes(); }
 
+    /** The underlying timing engine (containment integration). */
+    PipelineTimer& timer() { return *timer_; }
+
+    /** The shard lifeguard instances (containment watch list). */
+    std::vector<const lifeguard::Lifeguard*> shardLifeguards() const;
+
     /** One shard's log-buffer occupancy statistics. */
     const log::LogBufferStats& bufferStats(unsigned shard) const
     {

@@ -331,6 +331,36 @@ PipelineTimer::noteSyscall(unsigned producer)
 }
 
 Cycles
+PipelineTimer::drainProducer(unsigned producer_idx)
+{
+    LBA_ASSERT(producer_idx < producers_.size(), "bad producer index");
+    Producer& producer = producers_[producer_idx];
+    if (producer.app_time >= producer.drain_clock) return 0;
+    Cycles stall = producer.drain_clock - producer.app_time;
+    producer.app_time = producer.drain_clock;
+    stats_.containment_cycles += stall;
+    producer.stats.containment_cycles += stall;
+    return stall;
+}
+
+void
+PipelineTimer::chargeContainment(unsigned producer_idx, Cycles cycles)
+{
+    LBA_ASSERT(producer_idx < producers_.size(), "bad producer index");
+    Producer& producer = producers_[producer_idx];
+    producer.app_time += cycles;
+    stats_.containment_cycles += cycles;
+    producer.stats.containment_cycles += cycles;
+}
+
+unsigned
+PipelineTimer::producerCore(unsigned producer_idx) const
+{
+    LBA_ASSERT(producer_idx < producers_.size(), "bad producer index");
+    return producers_[producer_idx].app_core;
+}
+
+Cycles
 PipelineTimer::finishShard(unsigned producer_idx, unsigned lane_idx,
                            lifeguard::DispatchEngine& engine)
 {

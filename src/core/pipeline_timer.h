@@ -133,6 +133,13 @@ struct LbaRunStats
     double transport_bytes = 0.0;
     /** Cycles consumption waited on transport bandwidth (per-lane sum). */
     Cycles transport_wait_cycles = 0;
+    /**
+     * Cycles the application spent on containment work: draining the
+     * lanes for interval checkpoints and rewinds, and replaying undo
+     * logs after a rewind (src/replay/containment.h). Zero when
+     * containment is off or never triggered.
+     */
+    Cycles containment_cycles = 0;
 };
 
 /**
@@ -226,6 +233,28 @@ class PipelineTimer
      * consumed. No-op unless config.syscall_stall.
      */
     void noteSyscall(unsigned producer = 0);
+
+    /**
+     * Immediately stall @p producer until every record it has logged so
+     * far has been consumed on every lane it targeted — the multi-lane
+     * coordination a consistent rewind point needs (all lanes drained
+     * means the lifeguards have checked everything up to here). The
+     * stall lands on the producer's clock as containment cycles.
+     * @return The stall applied (0 when the lanes were already ahead).
+     */
+    Cycles drainProducer(unsigned producer);
+
+    /**
+     * Charge @p cycles of containment work (undo-log replay, pipeline
+     * flush on rewind) to @p producer's application clock.
+     */
+    void chargeContainment(unsigned producer, Cycles cycles);
+
+    /** The shared cache hierarchy (rewind cost modelling). */
+    mem::CacheHierarchy& hierarchy() { return hierarchy_; }
+
+    /** The application core @p producer retires on. */
+    unsigned producerCore(unsigned producer) const;
 
     /**
      * Complete an intrinsic-dispatch run: run each lane's end-of-program

@@ -40,6 +40,30 @@ class AppTimingObserver : public sim::RetireObserver
     Cycles cycles_ = 0;
 };
 
+/**
+ * Shared contained-run protocol of the LBA platforms: wire a manager
+ * around @p platform, drive the process under it, and record the
+ * containment outcome in @p result.
+ * @return The run result (the process may have aborted mid-program).
+ */
+sim::RunResult
+runWithContainment(sim::Process& process, core::PipelineTimer& timer,
+                   sim::RetireObserver& platform,
+                   std::vector<const lifeguard::Lifeguard*> watched,
+                   const replay::ContainmentConfig& containment,
+                   PlatformResult* result)
+{
+    replay::ContainmentManager manager(process, timer, 0, platform,
+                                       std::move(watched), containment);
+    process.setStoreInterceptor(&manager);
+    replay::ContainedRun contained = replay::runContained(process, manager);
+    process.setStoreInterceptor(nullptr);
+    result->containment_enabled = true;
+    result->aborted = contained.aborted;
+    result->containment = manager.stats();
+    return contained.result;
+}
+
 } // namespace
 
 Experiment::Experiment(std::vector<isa::Instruction> program,
@@ -88,6 +112,14 @@ PlatformResult
 Experiment::runLba(const LifeguardFactory& factory,
                    const LbaConfig& lba_config)
 {
+    return runLba(factory, lba_config, config_.containment);
+}
+
+PlatformResult
+Experiment::runLba(const LifeguardFactory& factory,
+                   const LbaConfig& lba_config,
+                   const replay::ContainmentConfig& containment)
+{
     const PlatformResult& base = unmonitored();
 
     sim::Process process = makeProcess();
@@ -98,10 +130,16 @@ Experiment::runLba(const LifeguardFactory& factory,
     LBA_ASSERT(guard != nullptr, "lifeguard factory returned null");
 
     LbaSystem system(*guard, hierarchy, lba_config);
-    sim::RunResult run = process.run(&system);
+    PlatformResult result;
+    sim::RunResult run;
+    if (containment.enabled) {
+        run = runWithContainment(process, system.timer(), system,
+                                 {guard.get()}, containment, &result);
+    } else {
+        run = process.run(&system);
+    }
     system.finish();
 
-    PlatformResult result;
     result.platform = "lba";
     result.instructions = run.instructions;
     result.cycles = system.stats().total_cycles;
@@ -156,6 +194,14 @@ PlatformResult
 Experiment::runParallelLba(const LifeguardFactory& factory,
                            const ParallelLbaConfig& config)
 {
+    return runParallelLba(factory, config, config_.containment);
+}
+
+PlatformResult
+Experiment::runParallelLba(const LifeguardFactory& factory,
+                           const ParallelLbaConfig& config,
+                           const replay::ContainmentConfig& containment)
+{
     const PlatformResult& base = unmonitored();
 
     sim::Process process = makeProcess();
@@ -166,10 +212,20 @@ Experiment::runParallelLba(const LifeguardFactory& factory,
     mem::CacheHierarchy hierarchy(hc);
 
     ParallelLbaSystem system(factory, hierarchy, config);
-    sim::RunResult run = process.run(&system);
+    PlatformResult result;
+    sim::RunResult run;
+    if (containment.enabled) {
+        // Watch every shard: a finding on any lane triggers the same
+        // coordinated drain-rewind-repair (the producer drain clock
+        // spans all lanes, so the rewind point is consistent).
+        run = runWithContainment(process, system.timer(), system,
+                                 system.shardLifeguards(), containment,
+                                 &result);
+    } else {
+        run = process.run(&system);
+    }
     system.finish();
 
-    PlatformResult result;
     result.platform = "lba-parallel";
     result.instructions = run.instructions;
     result.cycles = system.stats().total_cycles;

@@ -28,6 +28,7 @@
 #include "isa/isa.h"
 #include "lifeguard/lifeguard.h"
 #include "mem/hierarchy.h"
+#include "replay/containment.h"
 #include "sim/process.h"
 
 namespace lba::core {
@@ -43,6 +44,8 @@ struct ExperimentConfig
     mem::HierarchyConfig hierarchy;
     LbaConfig lba;
     dbi::DbiConfig dbi;
+    /** Rewind-and-repair containment (LBA platforms only). */
+    replay::ContainmentConfig containment;
 };
 
 /** Result of running one platform. */
@@ -61,6 +64,13 @@ struct PlatformResult
     /** Valid when platform == "lba-parallel". */
     ParallelLbaStats parallel;
     sim::RunResult run;
+
+    /** True when the run executed under rewind-and-repair containment. */
+    bool containment_enabled = false;
+    /** True when the abort repair policy terminated the program. */
+    bool aborted = false;
+    /** Valid when containment_enabled. */
+    replay::ContainmentStats containment;
 };
 
 /**
@@ -84,6 +94,11 @@ class Experiment
     PlatformResult runLba(const LifeguardFactory& factory,
                           const LbaConfig& lba_config);
 
+    /** Run under LBA with explicit containment configuration. */
+    PlatformResult runLba(const LifeguardFactory& factory,
+                          const LbaConfig& lba_config,
+                          const replay::ContainmentConfig& containment);
+
     /** Run under the Valgrind-style DBI baseline. */
     PlatformResult runDbi(const LifeguardFactory& factory);
 
@@ -98,6 +113,11 @@ class Experiment
     /** Run under parallel LBA with explicit configuration overrides. */
     PlatformResult runParallelLba(const LifeguardFactory& factory,
                                   const ParallelLbaConfig& config);
+
+    /** Run under parallel LBA with explicit containment configuration. */
+    PlatformResult runParallelLba(
+        const LifeguardFactory& factory, const ParallelLbaConfig& config,
+        const replay::ContainmentConfig& containment);
 
     const ExperimentConfig& config() const { return config_; }
 

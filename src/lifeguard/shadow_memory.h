@@ -14,7 +14,6 @@
  * @tparam GranuleBytes Application bytes covered by one entry.
  */
 
-#include <cstring>
 #include <memory>
 #include <unordered_map>
 
@@ -51,9 +50,9 @@ class ShadowMemory
         std::uint64_t index = granuleIndex(app_addr);
         auto [it, inserted] = pages_.try_emplace(index / kPageEntries);
         if (inserted) {
+            // make_unique of an array value-initializes every element;
+            // no extra clearing pass on the metadata hot path.
             it->second = std::make_unique<Entry[]>(kPageEntries);
-            std::memset(static_cast<void*>(it->second.get()), 0,
-                        kPageEntries * sizeof(Entry));
         }
         return it->second[index % kPageEntries];
     }

@@ -18,6 +18,15 @@ Checkpointer::Checkpointer(sim::Process& process,
     takeCheckpoint();
 }
 
+Checkpointer::~Checkpointer() { finalize(); }
+
+void
+Checkpointer::finalize()
+{
+    stats_.max_window_entries =
+        std::max<std::uint64_t>(stats_.max_window_entries, undo_.size());
+}
+
 void
 Checkpointer::takeCheckpoint()
 {
@@ -26,8 +35,7 @@ Checkpointer::takeCheckpoint()
         thread_snapshot_.push_back(process_.thread(tid));
     }
     scheduler_snapshot_ = process_.schedulerCursor();
-    stats_.max_window_entries =
-        std::max<std::uint64_t>(stats_.max_window_entries, undo_.size());
+    finalize();
     undo_.clear();
     window_instructions_ = 0;
     ++stats_.checkpoints;
@@ -67,6 +75,9 @@ Checkpointer::onPreStore(ThreadId, Addr addr, unsigned bytes,
 void
 Checkpointer::rewind()
 {
+    // The window ends here, not at a checkpoint: account its high-water
+    // mark before the undo log is replayed away.
+    finalize();
     // Undo memory writes, newest first.
     mem::Memory& memory = process_.memory();
     for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {

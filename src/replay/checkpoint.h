@@ -57,6 +57,14 @@ class Checkpointer : public sim::RetireObserver,
                      public sim::StoreInterceptor
 {
   public:
+    /** An overwritten store value: one entry of the undo log. */
+    struct UndoEntry
+    {
+        Addr addr;
+        Word old_value;
+        std::uint8_t bytes;
+    };
+
     /**
      * @param process The process to checkpoint (must outlive this).
      * @param inner   Downstream observer (the monitoring platform);
@@ -64,6 +72,9 @@ class Checkpointer : public sim::RetireObserver,
      */
     explicit Checkpointer(sim::Process& process,
                           sim::RetireObserver* inner = nullptr);
+
+    /** Folds the final (open) window into the statistics. */
+    ~Checkpointer() override;
 
     // RetireObserver: forward + manage checkpoint boundaries.
     void onRetire(const sim::Retired& retired) override;
@@ -86,6 +97,15 @@ class Checkpointer : public sim::RetireObserver,
      */
     void rewind();
 
+    /**
+     * Fold the current (still open) window into the statistics. A
+     * window is normally accounted when a checkpoint or rewind closes
+     * it; the last window of a run ends with neither, so call this (or
+     * rely on the destructor) before reading max_window_entries at
+     * end of run. Idempotent.
+     */
+    void finalize();
+
     /** Instructions retired since the last checkpoint. */
     std::uint64_t
     instructionsSinceCheckpoint() const
@@ -93,16 +113,16 @@ class Checkpointer : public sim::RetireObserver,
         return window_instructions_;
     }
 
+    /**
+     * The pending undo log, oldest first (rewind replays it newest
+     * first). Exposed so containment can charge the rewind's store
+     * replay through the application core's caches.
+     */
+    const std::vector<UndoEntry>& undoLog() const { return undo_; }
+
     const CheckpointStats& stats() const { return stats_; }
 
   private:
-    struct UndoEntry
-    {
-        Addr addr;
-        Word old_value;
-        std::uint8_t bytes;
-    };
-
     sim::Process& process_;
     sim::RetireObserver* inner_;
 

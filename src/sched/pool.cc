@@ -37,6 +37,11 @@ struct LifeguardPool::Tenant
     /** Round-robin cursor for non-memory instruction records. */
     std::uint64_t round_robin = 0;
 
+    /** Rewind-and-repair driver (set when containment is enabled). */
+    std::unique_ptr<replay::ContainmentManager> manager;
+    /** The abort repair policy terminated this tenant. */
+    bool aborted = false;
+
     stats::Histogram lag_hist;
     /** Lag accumulated during the tenant's current execution slice. */
     double window_lag_sum = 0.0;
@@ -290,6 +295,21 @@ LifeguardPool::run()
                 std::make_unique<lifeguard::DispatchEngine>(
                     *tenant->shards.back(), *hierarchy_, dc));
         }
+        if (config_.containment.enabled) {
+            // Per-tenant containment: the manager watches this tenant's
+            // shard contexts and rewinds only this tenant's producer;
+            // the store interceptor feeds its private undo log.
+            std::vector<const lifeguard::Lifeguard*> watched;
+            watched.reserve(tenant->shards.size());
+            for (const auto& shard : tenant->shards) {
+                watched.push_back(shard.get());
+            }
+            tenant->manager =
+                std::make_unique<replay::ContainmentManager>(
+                    *tenant->process, *timer_, tenant->index, *this,
+                    std::move(watched), config_.containment);
+            tenant->process->setStoreInterceptor(tenant->manager.get());
+        }
     }
 
     // Drive: round-robin slices over the active tenants. A lone tenant
@@ -304,7 +324,11 @@ LifeguardPool::run()
         sliced_ = active_.size() > 1 || !queued_.empty();
         slice_remaining_ = config_.slice_instructions;
         current_ = index;
-        tenant.run_result = tenant.process->run(this);
+        sim::RetireObserver* observer =
+            tenant.manager ? static_cast<sim::RetireObserver*>(
+                                 tenant.manager.get())
+                           : this;
+        tenant.run_result = tenant.process->run(observer);
 
         // Fold this slice into the tenant's recent-lag measurement (a
         // slice may log no records, e.g. all-filtered; keep the last
@@ -318,7 +342,18 @@ LifeguardPool::run()
             tenant.window_lag_count = 0;
         }
 
-        if (tenant.run_result.stopped) {
+        // A stop can mean "slice exhausted" or "finding detected".
+        // Containment handles the finding inline: drain this tenant's
+        // lanes, rewind its process, repair — other tenants' clocks and
+        // lane assignments are untouched. Abort falls through to the
+        // completion path below.
+        bool abort_tenant = false;
+        if (tenant.run_result.stopped && tenant.manager &&
+            tenant.manager->pendingFinding()) {
+            abort_tenant = !tenant.manager->containAndRepair();
+            tenant.aborted = abort_tenant;
+        }
+        if (tenant.run_result.stopped && !abort_tenant) {
             epoch();
             ++cursor;
             continue;
@@ -379,6 +414,12 @@ LifeguardPool::run()
             stats.lag_p95 = tenant->lag_hist.p95();
             stats.lag_p99 = tenant->lag_hist.p99();
             stats.findings = core::mergeShardFindings(tenant->shards);
+            if (tenant->manager) {
+                tenant->manager->finalize();
+                stats.containment_enabled = true;
+                stats.aborted = tenant->aborted;
+                stats.containment = tenant->manager->stats();
+            }
         }
         result.tenants.push_back(std::move(stats));
     }

@@ -36,6 +36,7 @@
 
 #include "core/pipeline_timer.h"
 #include "core/runner.h"
+#include "replay/containment.h"
 #include "sched/scheduler.h"
 #include "stats/histogram.h"
 
@@ -91,6 +92,14 @@ struct PoolConfig
      *  always exists; widen these for long contended runs). */
     std::size_t lag_hist_buckets = 512;
     std::uint64_t lag_hist_bucket_width = 256;
+    /**
+     * Per-tenant rewind-and-repair containment. A finding raised by one
+     * tenant's lifeguard shards drains, rewinds and repairs only that
+     * tenant; the other tenants' clocks and lane assignments are
+     * untouched (their records simply keep flowing on the shared
+     * lanes).
+     */
+    replay::ContainmentConfig containment;
 };
 
 /** Per-tenant outcome and statistics. */
@@ -123,6 +132,13 @@ struct TenantStats
     double lag_p99 = 0.0;
 
     std::vector<lifeguard::Finding> findings;
+
+    /** True when this tenant ran under containment. */
+    bool containment_enabled = false;
+    /** True when the abort repair policy terminated this tenant. */
+    bool aborted = false;
+    /** Valid when containment_enabled. */
+    replay::ContainmentStats containment;
 };
 
 /** Outcome of one pool run. */

@@ -356,6 +356,17 @@ Process::patchInstruction(Addr pc, const isa::Instruction& instr)
     return true;
 }
 
+bool
+Process::instructionAt(Addr pc, isa::Instruction* instr) const
+{
+    if (pc < kCodeBase || pc >= code_end_ ||
+        (pc - kCodeBase) % isa::kInstrBytes != 0) {
+        return false;
+    }
+    *instr = program_[(pc - kCodeBase) / isa::kInstrBytes];
+    return true;
+}
+
 std::uint64_t
 Process::memRefs() const
 {

@@ -145,6 +145,13 @@ class Process
      */
     bool patchInstruction(Addr pc, const isa::Instruction& instr);
 
+    /**
+     * Read the (possibly patched) instruction at @p pc, so a repair
+     * policy can craft a semantic replacement.
+     * @return False when @p pc is not a valid instruction address.
+     */
+    bool instructionAt(Addr pc, isa::Instruction* instr) const;
+
     /** Scheduler rotation cursor (exposed for exact rewind). */
     std::size_t schedulerCursor() const { return current_; }
     void setSchedulerCursor(std::size_t cursor) { current_ = cursor; }

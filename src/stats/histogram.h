@@ -5,6 +5,7 @@
  * distributions, record size distributions).
  */
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -69,9 +70,14 @@ class Histogram
         LBA_ASSERT(fraction >= 0.0 && fraction <= 1.0,
                    "fraction must be in [0,1]");
         if (count_ == 0) return 0;
-        std::uint64_t target =
-            static_cast<std::uint64_t>(fraction *
-                                       static_cast<double>(count_));
+        // Ceiling semantics, consistent with percentile(): the target
+        // rank is the smallest integer >= fraction * count, and at
+        // least 1 so fraction 0.0 resolves to the first non-empty
+        // bucket instead of matching an empty leading bucket.
+        std::uint64_t target = static_cast<std::uint64_t>(
+            std::ceil(fraction * static_cast<double>(count_)));
+        if (target == 0) target = 1;
+        if (target > count_) target = count_;
         std::uint64_t seen = 0;
         for (std::size_t i = 0; i < buckets_.size(); ++i) {
             seen += buckets_[i];

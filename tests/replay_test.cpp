@@ -144,6 +144,95 @@ TEST(Checkpointer, PartialWidthUndoIsExact)
     EXPECT_EQ(p.memory().read64(0x100000), ~0ull);
 }
 
+TEST(Checkpointer, HighWaterAccountedByRewind)
+{
+    // The window that a rewind() ends — not a checkpoint — must still
+    // contribute to max_window_entries (regression: it used to be
+    // sampled only inside takeCheckpoint()).
+    sim::Process p;
+    p.load(program(R"(
+        li r5, 0x100000
+        syscall 9           ; checkpoint; window starts empty
+        sd r5, 0(r5)
+        sd r5, 8(r5)
+        sd r5, 16(r5)
+        halt
+    )"));
+    Checkpointer cp(p);
+    p.setStoreInterceptor(&cp);
+    p.run(&cp);
+    EXPECT_EQ(cp.stats().max_window_entries, 0u);
+    cp.rewind();
+    EXPECT_EQ(cp.stats().max_window_entries, 3u);
+}
+
+TEST(Checkpointer, HighWaterAccountedByFinalize)
+{
+    // Same scenario ended by end-of-run: finalize() (and the
+    // destructor) must fold the last window in.
+    sim::Process p;
+    p.load(program(R"(
+        li r5, 0x100000
+        syscall 9
+        sd r5, 0(r5)
+        sd r5, 8(r5)
+        sd r5, 16(r5)
+        halt
+    )"));
+    Checkpointer cp(p);
+    p.setStoreInterceptor(&cp);
+    p.run(&cp);
+    EXPECT_EQ(cp.stats().max_window_entries, 0u);
+    cp.finalize();
+    EXPECT_EQ(cp.stats().max_window_entries, 3u);
+    // Idempotent: a second finalize changes nothing.
+    cp.finalize();
+    EXPECT_EQ(cp.stats().max_window_entries, 3u);
+}
+
+TEST(Checkpointer, HighWaterKeepsLargestWindow)
+{
+    // Two stores before the syscall checkpoint, three after: the
+    // checkpoint samples 2, finalize samples 3, max is 3.
+    sim::Process p;
+    p.load(program(R"(
+        li r5, 0x100000
+        sd r5, 0(r5)
+        sd r5, 8(r5)
+        syscall 9
+        sd r5, 16(r5)
+        sd r5, 24(r5)
+        sd r5, 32(r5)
+        halt
+    )"));
+    Checkpointer cp(p);
+    p.setStoreInterceptor(&cp);
+    p.run(&cp);
+    cp.finalize();
+    EXPECT_EQ(cp.stats().max_window_entries, 3u);
+    EXPECT_EQ(cp.stats().undo_entries, 5u);
+}
+
+TEST(Checkpointer, UndoLogIsExposedForCostModelling)
+{
+    sim::Process p;
+    p.load(program(R"(
+        li r5, 0x100000
+        syscall 9
+        sd r5, 0(r5)
+        sw r5, 8(r5)
+        halt
+    )"));
+    Checkpointer cp(p);
+    p.setStoreInterceptor(&cp);
+    p.run(&cp);
+    ASSERT_EQ(cp.undoLog().size(), 2u);
+    EXPECT_EQ(cp.undoLog()[0].addr, 0x100000u);
+    EXPECT_EQ(cp.undoLog()[0].bytes, 8u);
+    EXPECT_EQ(cp.undoLog()[1].addr, 0x100008u);
+    EXPECT_EQ(cp.undoLog()[1].bytes, 4u);
+}
+
 TEST(Checkpointer, ManualCheckpointNarrowsWindow)
 {
     sim::Process p;

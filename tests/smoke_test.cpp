@@ -77,6 +77,83 @@ TEST_F(SmokeTest, LbaRunRejectsUnknownBenchmark)
     EXPECT_NE(runCommand(cmd), 0);
 }
 
+TEST_F(SmokeTest, LbaRunContainmentReportsAndExitsZero)
+{
+    std::string json = ::testing::TempDir() + "smoke_containment.json";
+    for (const char* policy :
+         {"patch", "skip", "quarantine", "abort"}) {
+        std::string cmd = std::string(LBA_RUN_PATH) +
+                          " gzip addrcheck --instrs 20000 --platform lba"
+                          " --bugs uaf --containment=" +
+                          policy + " --json " + json +
+                          " >/dev/null 2>&1";
+        EXPECT_EQ(runCommand(cmd), 0) << "policy: " << policy;
+    }
+    // The JSON report carries the ContainmentStats block.
+    std::FILE* file = std::fopen(json.c_str(), "r");
+    ASSERT_NE(file, nullptr);
+    std::string text(1 << 16, '\0');
+    text.resize(std::fread(text.data(), 1, text.size(), file));
+    std::fclose(file);
+    EXPECT_NE(text.find("\"containment\""), std::string::npos);
+    EXPECT_NE(text.find("\"rewinds\""), std::string::npos);
+    std::remove(json.c_str());
+
+    // Multi-tenant pool with per-tenant containment.
+    std::string pool_cmd = std::string(LBA_RUN_PATH) +
+                           " gzip,mcf addrcheck --instrs 15000"
+                           " --tenants 2 --lanes 2 --bugs uaf"
+                           " --containment patch >/dev/null 2>&1";
+    EXPECT_EQ(runCommand(pool_cmd), 0);
+}
+
+TEST_F(SmokeTest, LbaRunTrailingValueFlagIsUsageErrorNotCrash)
+{
+    // A value flag as the last argument must print usage and exit 2 —
+    // never read argv[argc].
+    for (const char* flag :
+         {"--instrs", "--platform", "--shards", "--tenants", "--lanes",
+          "--sched", "--transport-bw", "--bugs", "--containment",
+          "--checkpoint-interval", "--json"}) {
+        std::string cmd = std::string(LBA_RUN_PATH) +
+                          " gzip addrcheck " + flag + " >/dev/null 2>&1";
+        EXPECT_EQ(runCommand(cmd), 2) << "flag: " << flag;
+    }
+    // Unknown policy is rejected, not silently defaulted.
+    std::string bad = std::string(LBA_RUN_PATH) +
+                      " gzip addrcheck --containment=bogus"
+                      " >/dev/null 2>&1";
+    EXPECT_EQ(runCommand(bad), 2);
+    // --checkpoint-interval without --containment is an error, not a
+    // silently uncontained run.
+    std::string orphan = std::string(LBA_RUN_PATH) +
+                         " gzip addrcheck --checkpoint-interval 500"
+                         " >/dev/null 2>&1";
+    EXPECT_EQ(runCommand(orphan), 2);
+    // Order-independent: interval before the policy flag still works.
+    std::string ordered = std::string(LBA_RUN_PATH) +
+                          " gzip addrcheck --instrs 15000"
+                          " --checkpoint-interval 500"
+                          " --containment patch --platform lba"
+                          " >/dev/null 2>&1";
+    EXPECT_EQ(runCommand(ordered), 0);
+    // Containment on a DBI-only run would be silently ignored: reject.
+    std::string dbi = std::string(LBA_RUN_PATH) +
+                      " gzip addrcheck --platform dbi"
+                      " --containment patch >/dev/null 2>&1";
+    EXPECT_EQ(runCommand(dbi), 2);
+}
+
+TEST_F(SmokeTest, LbaTraceMissingArgumentsAreUsageErrors)
+{
+    std::string base = std::string(LBA_TRACE_PATH);
+    // Each subcommand with a missing trailing argument: usage, exit 2.
+    EXPECT_EQ(runCommand(base + " gen gzip >/dev/null 2>&1"), 2);
+    EXPECT_EQ(runCommand(base + " info >/dev/null 2>&1"), 2);
+    EXPECT_EQ(runCommand(base + " dump >/dev/null 2>&1"), 2);
+    EXPECT_EQ(runCommand(base + " >/dev/null 2>&1"), 2);
+}
+
 TEST_F(SmokeTest, LbaTraceGenInfoDumpRoundTrip)
 {
     std::string trace = ::testing::TempDir() + "smoke_test.lbat";

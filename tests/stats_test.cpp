@@ -101,6 +101,54 @@ TEST(Histogram, PercentileUpperBound)
     EXPECT_EQ(h.percentileUpperBound(0.99), 100u);
 }
 
+TEST(Histogram, PercentileUpperBoundUsesCeilingRank)
+{
+    // Regression: the target rank used to be a truncating cast, so a
+    // fraction whose product lands just below an integer returned one
+    // bucket too low. One sample in [0,10), one in [10,20): the 75th
+    // percentile needs rank ceil(1.5) = 2, i.e. the second bucket.
+    Histogram h(10, 10);
+    h.record(5);
+    h.record(15);
+    EXPECT_EQ(h.percentileUpperBound(0.75), 20u);
+    EXPECT_EQ(h.percentileUpperBound(0.5), 10u);
+}
+
+TEST(Histogram, PercentileUpperBoundFractionZero)
+{
+    // fraction 0.0 must resolve to the first non-empty bucket, not
+    // match an empty leading bucket (target rank is at least 1).
+    Histogram h(10, 10);
+    h.record(25); // bucket 2 only
+    EXPECT_EQ(h.percentileUpperBound(0.0), 30u);
+}
+
+TEST(Histogram, PercentileUpperBoundFractionOne)
+{
+    Histogram h(10, 10);
+    h.record(5);
+    h.record(95);
+    EXPECT_EQ(h.percentileUpperBound(1.0), 100u);
+    // With overflow, fraction 1.0 lands past the last edge.
+    h.record(1000);
+    EXPECT_EQ(h.percentileUpperBound(1.0), 110u);
+}
+
+TEST(Histogram, PercentileUpperBoundSingleSample)
+{
+    Histogram h(8, 4);
+    h.record(13); // bucket 3: [12,16)
+    for (double f : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+        EXPECT_EQ(h.percentileUpperBound(f), 16u) << "fraction " << f;
+    }
+}
+
+TEST(Histogram, PercentileUpperBoundEmptyIsZero)
+{
+    Histogram h(4, 10);
+    EXPECT_EQ(h.percentileUpperBound(0.5), 0u);
+}
+
 TEST(Histogram, PercentileInterpolatesWithinBucket)
 {
     // 100 samples in bucket [0,10): the quantile is interpolated

@@ -9,12 +9,16 @@
  *           [--transport-bw BYTES_PER_CYCLE]
  *           [--bugs uaf,double-free,leak,tainted-jump,race]
  *           [--tenants N] [--lanes M] [--sched static|rr|lag]
- *           [--json PATH]
+ *           [--containment abort|skip|patch|quarantine]
+ *           [--checkpoint-interval N] [--json PATH]
  *
  * With --tenants N the benchmark argument may be a comma-separated
  * list of profiles; the N tenants cycle through it and share an M-lane
  * lifeguard pool under the chosen scheduling policy (src/sched/).
- * --json writes a machine-readable copy of the report to PATH.
+ * --containment enables rewind-and-repair containment under the chosen
+ * repair policy (src/replay/containment.h); the `--containment=policy`
+ * spelling is accepted too. --json writes a machine-readable copy of
+ * the report to PATH.
  */
 
 #include <cstdio>
@@ -28,6 +32,7 @@
 #include "lifeguards/addrcheck.h"
 #include "lifeguards/lockset.h"
 #include "lifeguards/taintcheck.h"
+#include "replay/containment.h"
 #include "sched/pool.h"
 #include "stats/json.h"
 #include "workload/generator.h"
@@ -49,8 +54,67 @@ usage()
         "               [--bugs uaf,double-free,leak,tainted-jump,race]\n"
         "               [--tenants N] [--lanes M] "
         "[--sched static|rr|lag]\n"
-        "               [--json PATH]\n");
+        "               [--containment abort|skip|patch|quarantine]\n"
+        "               [--checkpoint-interval N] [--json PATH]\n");
     return 2;
+}
+
+void
+printContainment(const replay::ContainmentStats& stats, bool aborted)
+{
+    std::printf("    containment: %llu checkpoints, %llu rewinds "
+                "(max distance %llu instrs), %llu cycles charged%s\n",
+                static_cast<unsigned long long>(stats.checkpoints),
+                static_cast<unsigned long long>(stats.rewinds),
+                static_cast<unsigned long long>(
+                    stats.max_rewind_distance),
+                static_cast<unsigned long long>(
+                    stats.rewind_cycles + stats.checkpoint_stall_cycles),
+                aborted ? " [aborted]" : "");
+    std::printf("    repairs: %llu patched, %llu skipped, "
+                "%llu quarantined, %llu aborted, %llu suppressed\n",
+                static_cast<unsigned long long>(stats.repairs.patched),
+                static_cast<unsigned long long>(stats.repairs.skipped),
+                static_cast<unsigned long long>(
+                    stats.repairs.quarantined),
+                static_cast<unsigned long long>(stats.repairs.aborted),
+                static_cast<unsigned long long>(
+                    stats.repairs.suppressed));
+}
+
+void
+appendContainmentJson(stats::JsonWriter& json, replay::RepairPolicy policy,
+                      const replay::ContainmentStats& stats, bool aborted)
+{
+    json.key("containment");
+    json.beginObject();
+    json.field("policy", replay::repairPolicyName(policy));
+    json.field("aborted", aborted);
+    json.field("checkpoints", stats.checkpoints);
+    json.field("syscall_checkpoints", stats.syscall_checkpoints);
+    json.field("interval_checkpoints", stats.interval_checkpoints);
+    json.field("undo_entries", stats.undo_entries);
+    json.field("max_window_entries", stats.max_window_entries);
+    json.field("rewinds", stats.rewinds);
+    json.field("rewound_instructions", stats.rewound_instructions);
+    json.field("max_rewind_distance", stats.max_rewind_distance);
+    json.field("rewind_distance_p50",
+               stats.rewind_distance.percentileUpperBound(0.50));
+    json.field("rewind_distance_p95",
+               stats.rewind_distance.percentileUpperBound(0.95));
+    json.field("rewind_cycles",
+               static_cast<std::uint64_t>(stats.rewind_cycles));
+    json.field("checkpoint_stall_cycles",
+               static_cast<std::uint64_t>(stats.checkpoint_stall_cycles));
+    json.key("repairs");
+    json.beginObject();
+    json.field("patched", stats.repairs.patched);
+    json.field("skipped", stats.repairs.skipped);
+    json.field("quarantined", stats.repairs.quarantined);
+    json.field("aborted", stats.repairs.aborted);
+    json.field("suppressed", stats.repairs.suppressed);
+    json.endObject();
+    json.endObject();
 }
 
 void
@@ -73,6 +137,9 @@ printResult(const core::PlatformResult& result)
                         result.parallel.syscall_drains));
     }
     std::printf("\n");
+    if (result.containment_enabled) {
+        printContainment(result.containment, result.aborted);
+    }
     if (result.platform == "lba-parallel") {
         for (std::size_t s = 0;
              s < result.parallel.shard_busy_cycles.size(); ++s) {
@@ -98,7 +165,8 @@ printResult(const core::PlatformResult& result)
 
 void
 appendResultJson(stats::JsonWriter& json,
-                 const core::PlatformResult& result)
+                 const core::PlatformResult& result,
+                 replay::RepairPolicy policy)
 {
     json.beginObject();
     json.field("platform", result.platform);
@@ -117,6 +185,10 @@ appendResultJson(stats::JsonWriter& json,
         json.field("shards",
                    static_cast<std::uint64_t>(
                        result.parallel.shard_busy_cycles.size()));
+    }
+    if (result.containment_enabled) {
+        appendContainmentJson(json, policy, result.containment,
+                              result.aborted);
     }
     json.endObject();
 }
@@ -157,12 +229,14 @@ runMultiTenant(const std::vector<std::string>& benchmarks,
                std::uint64_t instrs, unsigned tenants, unsigned lanes,
                sched::Policy policy, double transport_bw,
                const workload::BugInjection& bugs,
+               const replay::ContainmentConfig& containment,
                const std::string& json_path)
 {
     sched::PoolConfig config;
     config.lanes = lanes;
     config.policy = policy;
     config.lba.transport_bytes_per_cycle = transport_bw;
+    config.containment = containment;
     sched::LifeguardPool pool(config, factory);
 
     for (unsigned t = 0; t < tenants; ++t) {
@@ -200,6 +274,10 @@ runMultiTenant(const std::vector<std::string>& benchmarks,
                     static_cast<unsigned long long>(tenant.total_cycles),
                     tenant.slowdown, tenant.lag_p50, tenant.lag_p95,
                     tenant.lag_p99, tenant.findings.size());
+        if (tenant.containment_enabled &&
+            (tenant.containment.rewinds > 0 || tenant.aborted)) {
+            printContainment(tenant.containment, tenant.aborted);
+        }
     }
     std::printf("\nmakespan %llu cycles; pool busy %llu lifeguard "
                 "cycles over %u lanes\n",
@@ -238,6 +316,10 @@ runMultiTenant(const std::vector<std::string>& benchmarks,
         json.field("transport_bytes", tenant.lba.transport_bytes);
         json.field("findings",
                    static_cast<std::uint64_t>(tenant.findings.size()));
+        if (tenant.containment_enabled) {
+            appendContainmentJson(json, containment.policy,
+                                  tenant.containment, tenant.aborted);
+        }
         json.endObject();
     }
     json.endArray();
@@ -264,8 +346,31 @@ main(int argc, char** argv)
     double transport_bw = 0.0;
     std::string json_path;
     workload::BugInjection bugs;
+    replay::ContainmentConfig containment;
     for (int i = 3; i < argc; ++i) {
         std::string arg = argv[i];
+        // The containment flags also accept the `--flag=value`
+        // spelling; every other flag takes `--flag value` only.
+        std::size_t eq = arg.find('=');
+        if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+            // Not an over-read: the value is carried in arg itself.
+            std::string value = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+            if (arg == "--containment") {
+                containment.enabled = true;
+                if (!replay::parseRepairPolicy(value,
+                                               &containment.policy)) {
+                    return usage();
+                }
+                continue;
+            }
+            if (arg == "--checkpoint-interval") {
+                containment.checkpoint_interval =
+                    std::strtoull(value.c_str(), nullptr, 10);
+                continue;
+            }
+            return usage();
+        }
         if (arg == "--instrs" && i + 1 < argc) {
             instrs = std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--platform" && i + 1 < argc) {
@@ -283,6 +388,15 @@ main(int argc, char** argv)
             if (!sched::parsePolicy(argv[++i], &policy)) return usage();
         } else if (arg == "--transport-bw" && i + 1 < argc) {
             transport_bw = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--containment" && i + 1 < argc) {
+            containment.enabled = true;
+            if (!replay::parseRepairPolicy(argv[++i],
+                                           &containment.policy)) {
+                return usage();
+            }
+        } else if (arg == "--checkpoint-interval" && i + 1 < argc) {
+            containment.checkpoint_interval =
+                std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
         } else if (arg == "--bugs" && i + 1 < argc) {
@@ -297,6 +411,18 @@ main(int argc, char** argv)
         } else {
             return usage();
         }
+    }
+    if (containment.checkpoint_interval > 0 && !containment.enabled) {
+        std::fprintf(stderr, "--checkpoint-interval requires "
+                             "--containment <policy>\n");
+        return usage();
+    }
+    if (containment.enabled && platform == "dbi" && tenants == 0) {
+        // Containment is an LBA-platform feature; a DBI-only run would
+        // silently ignore the flag.
+        std::fprintf(stderr, "--containment requires an LBA platform "
+                             "(--platform lba|both)\n");
+        return usage();
     }
 
     core::LifeguardFactory factory;
@@ -324,7 +450,8 @@ main(int argc, char** argv)
         if (benchmarks.empty()) return usage();
         return runMultiTenant(benchmarks, lifeguard_name, factory,
                               instrs, tenants, lanes, policy,
-                              transport_bw, bugs, json_path);
+                              transport_bw, bugs, containment,
+                              json_path);
     }
 
     const workload::Profile* profile = workload::findProfile(benchmark);
@@ -339,6 +466,7 @@ main(int argc, char** argv)
     // The parallel platform inherits the same knob through
     // Experiment::runParallelLba (one timing engine under both).
     config.lba.transport_bytes_per_cycle = transport_bw;
+    config.containment = containment;
     core::Experiment experiment(generated.program, config);
     const auto& base = experiment.unmonitored();
     std::printf("%s under %s (%llu instructions, CPI %.2f "
@@ -373,7 +501,7 @@ main(int argc, char** argv)
     json.key("results");
     json.beginArray();
     for (const core::PlatformResult& result : results) {
-        appendResultJson(json, result);
+        appendResultJson(json, result, containment.policy);
     }
     json.endArray();
     json.endObject();

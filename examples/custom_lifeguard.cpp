@@ -9,6 +9,11 @@
  * special-purpose proposals hard-wired) in ~60 lines: it maintains a
  * per-thread shadow stack of expected return addresses and reports when
  * a return goes somewhere else (stack smash, longjmp, ROP...).
+ *
+ * It uses the handler-table API (docs/LIFEGUARD_GUIDE.md): one handler
+ * per event type, registered in the constructor, dispatched through
+ * the same per-type table the paper's `nlba` instruction jumps
+ * through. Every other event type costs dispatch cycles only.
  */
 
 #include <cstdio>
@@ -28,50 +33,48 @@ using namespace lba;
 class CallRetChecker : public lifeguard::Lifeguard
 {
   public:
+    CallRetChecker()
+    {
+        onEvent<&CallRetChecker::onCall>(log::EventType::kCall);
+        onEvent<&CallRetChecker::onCall>(log::EventType::kIndirectCall);
+        onEvent<&CallRetChecker::onReturn>(log::EventType::kReturn);
+    }
+
     const char* name() const override { return "CallRetChecker"; }
 
+  private:
     void
-    handleEvent(const log::EventRecord& record,
-                lifeguard::CostSink& cost) override
+    onCall(const log::EventRecord& record, lifeguard::CostSink& cost)
     {
-        switch (record.type) {
-          case log::EventType::kCall:
-          case log::EventType::kIndirectCall:
-            // Push the architectural return address (pc + 8).
-            cost.instrs(3);
-            stacks_[record.tid].push_back(record.pc + 8);
-            break;
+        // Push the architectural return address (pc + 8).
+        cost.instrs(3);
+        stacks_[record.tid].push_back(record.pc + 8);
+    }
 
-          case log::EventType::kReturn: {
-            cost.instrs(4);
-            auto& stack = stacks_[record.tid];
-            if (stack.empty()) {
-                report({lifeguard::FindingKind::kCallRetMismatch,
-                        record.pc, record.addr, record.tid,
-                        "return without matching call"});
-                break;
-            }
-            Addr expected = stack.back();
-            stack.pop_back();
-            if (record.addr != expected) {
-                char msg[96];
-                std::snprintf(msg, sizeof(msg),
-                              "return to 0x%llx, expected 0x%llx",
-                              static_cast<unsigned long long>(
-                                  record.addr),
-                              static_cast<unsigned long long>(expected));
-                report({lifeguard::FindingKind::kCallRetMismatch,
-                        record.pc, record.addr, record.tid, msg});
-            }
-            break;
-          }
-
-          default:
-            break;
+    void
+    onReturn(const log::EventRecord& record, lifeguard::CostSink& cost)
+    {
+        cost.instrs(4);
+        auto& stack = stacks_[record.tid];
+        if (stack.empty()) {
+            report({lifeguard::FindingKind::kCallRetMismatch, record.pc,
+                    record.addr, record.tid,
+                    "return without matching call"});
+            return;
+        }
+        Addr expected = stack.back();
+        stack.pop_back();
+        if (record.addr != expected) {
+            char msg[96];
+            std::snprintf(msg, sizeof(msg),
+                          "return to 0x%llx, expected 0x%llx",
+                          static_cast<unsigned long long>(record.addr),
+                          static_cast<unsigned long long>(expected));
+            report({lifeguard::FindingKind::kCallRetMismatch, record.pc,
+                    record.addr, record.tid, msg});
         }
     }
 
-  private:
     std::map<ThreadId, std::vector<Addr>> stacks_;
 };
 
@@ -103,8 +106,8 @@ main()
     }
 
     core::Experiment experiment(assembled.program);
-    auto result = experiment.runLba(
-        [] { return std::make_unique<CallRetChecker>(); });
+    auto factory = [] { return std::make_unique<CallRetChecker>(); };
+    auto result = experiment.runLba(factory);
 
     std::printf("=== Custom lifeguard: call/return integrity ===\n");
     std::printf("slowdown: %.2fx (cheap handlers -> near-free "
@@ -114,5 +117,27 @@ main()
     for (const auto& finding : result.findings) {
         std::printf("  %s\n", lifeguard::toString(finding).c_str());
     }
-    return result.findings.size() >= 1 ? 0 : 1;
+    if (result.findings.size() != 1 ||
+        result.findings[0].kind !=
+            lifeguard::FindingKind::kCallRetMismatch) {
+        std::fprintf(stderr, "expected exactly one call/ret mismatch\n");
+        return 1;
+    }
+
+    // The same checker on the retained per-record dispatch path must
+    // report the same findings in the same cycles (the cycle-identity
+    // invariant the batched handler table is built on).
+    core::LbaConfig per_record = experiment.config().lba;
+    per_record.batched_dispatch = false;
+    auto baseline = experiment.runLba(factory, per_record);
+    if (baseline.cycles != result.cycles ||
+        baseline.findings.size() != result.findings.size() ||
+        baseline.findings[0].pc != result.findings[0].pc) {
+        std::fprintf(stderr,
+                     "batched and per-record dispatch disagree\n");
+        return 1;
+    }
+    std::printf("per-record dispatch agrees: %llu cycles both ways\n",
+                static_cast<unsigned long long>(result.cycles));
+    return 0;
 }

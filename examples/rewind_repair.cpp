@@ -40,6 +40,11 @@ class StopOnFinding : public sim::RetireObserver
     onRetire(const sim::Retired& retired) override
     {
         system_.onRetire(retired);
+        // Batched dispatch defers handler execution to the next flush
+        // boundary; sync before polling findings so detection latency
+        // matches the per-record path (replay/containment.h does the
+        // same before its finding checks).
+        system_.timer().sync();
         if (guard_.findings().size() > seen_) {
             seen_ = guard_.findings().size();
             process_.requestStop();

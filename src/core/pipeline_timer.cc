@@ -131,6 +131,16 @@ PipelineTimer::reserveSlots(Producer& producer, Lane& lane,
     // contexts may need multiple slots for one logical record.
     LBA_ASSERT(needed <= lane.buffer.capacity(),
                "lane buffer smaller than one record's consumptions");
+    if (lane.slot_finish.size() + lane.pending + needed >
+        lane.buffer.capacity()) {
+        // A queued-but-unconsumed record occupies a slot whose finish
+        // time is not known yet: catch the whole queue up first (in
+        // arrival order, so the interleaving stays identical to the
+        // per-record path — these records were consumed before this
+        // point on that path too).
+        flushPending();
+    }
+    std::size_t freed = 0;
     while (lane.slot_finish.size() + needed > lane.buffer.capacity()) {
         Cycles freed_at = lane.slot_finish.front();
         lane.slot_finish.pop_front();
@@ -140,11 +150,10 @@ PipelineTimer::reserveSlots(Producer& producer, Lane& lane,
             producer.stats.backpressure_stall_cycles += stall;
             producer.app_time = freed_at;
         }
-        // The functional buffer mirrors the slot accounting.
-        log::LogBuffer::Entry drained;
-        bool ok = lane.buffer.pop(&drained);
-        LBA_ASSERT(ok, "slot accounting out of sync with buffer");
+        ++freed;
     }
+    // The functional buffer mirrors the slot accounting.
+    lane.buffer.popN(freed);
 }
 
 void
@@ -155,6 +164,32 @@ PipelineTimer::consumeOn(Producer& producer, Lane& lane,
 {
     bool pushed = lane.buffer.push(record, produced_at);
     LBA_ASSERT(pushed, "buffer full after slot accounting");
+
+    if (config_.batched_dispatch) {
+        PendingMeta meta;
+        meta.producer =
+            static_cast<unsigned>(&producer - producers_.data());
+        meta.lane = static_cast<unsigned>(&lane - lanes_.data());
+        meta.engine = &engine;
+        meta.produced_at = produced_at;
+        meta.bytes = record_bytes;
+        pending_records_.push_back(record);
+        pending_meta_.push_back(meta);
+        ++lane.pending;
+        return;
+    }
+
+    Cycles cost = engine.consume(record);
+    applyRecordTiming(producer, lane, record, produced_at, record_bytes,
+                      cost);
+}
+
+void
+PipelineTimer::applyRecordTiming(Producer& producer, Lane& lane,
+                                 const EventRecord& record,
+                                 Cycles produced_at, double record_bytes,
+                                 Cycles cost)
+{
     lane.transport_bytes += record_bytes;
     stats_.transport_bytes += record_bytes;
     producer.stats.transport_bytes += record_bytes;
@@ -183,7 +218,6 @@ PipelineTimer::consumeOn(Producer& producer, Lane& lane,
     lane.consume_lag.record(lag);
     producer.consume_lag.record(lag);
     consume_lag_.record(lag);
-    Cycles cost = engine.consume(record);
     lane.last_finish = start + cost;
     lane.busy_cycles += cost;
     producer.stats.lifeguard_busy_cycles += cost;
@@ -198,6 +232,55 @@ PipelineTimer::consumeOn(Producer& producer, Lane& lane,
         consume_observer_(producer_idx, lane_idx, record,
                           static_cast<Cycles>(lag), cost, record_bytes);
     }
+}
+
+void
+PipelineTimer::flushPending()
+{
+    // The consume observer runs inside phase 2 and may call back into
+    // a syncing accessor (stats(), sync(), ...); re-entering the flush
+    // would re-run every queued handler. The guard makes re-entry a
+    // no-op, like a stats read mid-consume on the per-record path.
+    if (pending_meta_.empty() || flushing_) return;
+    flushing_ = true;
+    std::size_t n = pending_meta_.size();
+    pending_costs_.resize(n);
+
+    // Phase 1: handler execution, in arrival order — the same cache
+    // interleaving as per-record consumption — with maximal runs that
+    // share an engine drained through one consumeBatch call each (the
+    // whole queue, for single-lane systems).
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i + 1;
+        while (j < n &&
+               pending_meta_[j].engine == pending_meta_[i].engine) {
+            ++j;
+        }
+        pending_meta_[i].engine->consumeBatch(
+            pending_records_.data() + i, j - i, pending_costs_.data() + i);
+        i = j;
+    }
+
+    // Phase 2: the timing recurrence, same order. Handler costs never
+    // depend on the recurrence, so the split is exact.
+    for (std::size_t k = 0; k < n; ++k) {
+        const PendingMeta& meta = pending_meta_[k];
+        Lane& lane = lanes_[meta.lane];
+        applyRecordTiming(producers_[meta.producer], lane,
+                          pending_records_[k], meta.produced_at,
+                          meta.bytes, pending_costs_[k]);
+        --lane.pending;
+    }
+    // Erase only what this flush consumed: an observer that logged
+    // records mid-flush (none in-tree do) must not lose them.
+    pending_records_.erase(pending_records_.begin(),
+                           pending_records_.begin() +
+                               static_cast<std::ptrdiff_t>(n));
+    pending_meta_.erase(pending_meta_.begin(),
+                        pending_meta_.begin() +
+                            static_cast<std::ptrdiff_t>(n));
+    flushing_ = false;
 }
 
 bool
@@ -291,6 +374,10 @@ void
 PipelineTimer::retire(unsigned producer_idx, const sim::Retired& retired)
 {
     LBA_ASSERT(producer_idx < producers_.size(), "bad producer index");
+    // Flush boundary: consume everything the previous interval logged
+    // before this retirement's drain check and cache accesses — the
+    // point the per-record path had consumed them by.
+    flushPending();
     Producer& producer = producers_[producer_idx];
     if (producer.pending_drain) {
         // Applied before this retirement's own cost, so the drain covers
@@ -334,6 +421,7 @@ Cycles
 PipelineTimer::drainProducer(unsigned producer_idx)
 {
     LBA_ASSERT(producer_idx < producers_.size(), "bad producer index");
+    flushPending();
     Producer& producer = producers_[producer_idx];
     if (producer.app_time >= producer.drain_clock) return 0;
     Cycles stall = producer.drain_clock - producer.app_time;
@@ -367,6 +455,7 @@ PipelineTimer::finishShard(unsigned producer_idx, unsigned lane_idx,
     LBA_ASSERT(!finished_, "finishShard() after seal()");
     LBA_ASSERT(producer_idx < producers_.size(), "bad producer index");
     LBA_ASSERT(lane_idx < lanes_.size(), "bad lane index");
+    flushPending();
     Producer& producer = producers_[producer_idx];
     Lane& lane = lanes_[lane_idx];
     // The final pass runs once the producer's application has exited and
@@ -385,6 +474,7 @@ void
 PipelineTimer::seal()
 {
     LBA_ASSERT(!finished_, "seal() called twice");
+    flushPending();
     finished_ = true;
 
     Cycles end = 0;
@@ -428,6 +518,7 @@ PipelineTimer::finishAll()
 const LbaRunStats&
 PipelineTimer::producerStats(unsigned producer) const
 {
+    syncConst();
     LBA_ASSERT(producer < producers_.size(), "bad producer index");
     return producers_[producer].stats;
 }
@@ -449,6 +540,7 @@ PipelineTimer::bufferStats(unsigned lane) const
 const lifeguard::DispatchStats&
 PipelineTimer::dispatchStats(unsigned lane) const
 {
+    syncConst();
     LBA_ASSERT(lane < lanes_.size(), "bad lane index");
     LBA_ASSERT(lanes_[lane].dispatch, "lane has no dispatch engine");
     return lanes_[lane].dispatch->stats();
@@ -459,12 +551,15 @@ PipelineTimer::lifeguard(unsigned lane) const
 {
     LBA_ASSERT(lane < lanes_.size(), "bad lane index");
     LBA_ASSERT(lanes_[lane].lifeguard, "lane has no intrinsic lifeguard");
+    // Callers read mid-run lifeguard state (findings); catch it up.
+    syncConst();
     return *lanes_[lane].lifeguard;
 }
 
 Cycles
 PipelineTimer::laneLastFinish(unsigned lane) const
 {
+    syncConst();
     LBA_ASSERT(lane < lanes_.size(), "bad lane index");
     return lanes_[lane].last_finish;
 }
@@ -472,6 +567,7 @@ PipelineTimer::laneLastFinish(unsigned lane) const
 Cycles
 PipelineTimer::laneBusyCycles(unsigned lane) const
 {
+    syncConst();
     LBA_ASSERT(lane < lanes_.size(), "bad lane index");
     return lanes_[lane].busy_cycles;
 }
@@ -479,6 +575,7 @@ PipelineTimer::laneBusyCycles(unsigned lane) const
 std::uint64_t
 PipelineTimer::laneRecords(unsigned lane) const
 {
+    syncConst();
     LBA_ASSERT(lane < lanes_.size(), "bad lane index");
     return lanes_[lane].records;
 }
@@ -486,6 +583,7 @@ PipelineTimer::laneRecords(unsigned lane) const
 double
 PipelineTimer::laneMeanConsumeLag(unsigned lane) const
 {
+    syncConst();
     LBA_ASSERT(lane < lanes_.size(), "bad lane index");
     return lanes_[lane].consume_lag.mean();
 }
@@ -493,6 +591,7 @@ PipelineTimer::laneMeanConsumeLag(unsigned lane) const
 double
 PipelineTimer::laneTransportBytes(unsigned lane) const
 {
+    syncConst();
     LBA_ASSERT(lane < lanes_.size(), "bad lane index");
     return lanes_[lane].transport_bytes;
 }
@@ -500,6 +599,7 @@ PipelineTimer::laneTransportBytes(unsigned lane) const
 Cycles
 PipelineTimer::laneTransportWaitCycles(unsigned lane) const
 {
+    syncConst();
     LBA_ASSERT(lane < lanes_.size(), "bad lane index");
     return lanes_[lane].transport_wait_cycles;
 }

@@ -32,6 +32,20 @@
  * special case by construction, which the shards=1 differential tests
  * assert cycle-for-cycle.
  *
+ * Batched dispatch (LbaConfig::batched_dispatch, the default). The
+ * recurrence above is *what* is computed; batching changes only *when*
+ * the host computes it. Records are queued as they are logged and
+ * drained at the next flush boundary — the following retirement
+ * (before its drain check and cache accesses), a containment drain, a
+ * slot-reservation squeeze, or end of run — first running every queued
+ * handler in arrival order through the lifeguards' handler tables
+ * (DispatchEngine::consumeBatch), then folding the per-record costs
+ * into the recurrence in the same order. Because every flush boundary
+ * precedes the next application-core cache access, the shared-L2
+ * access interleaving is exactly the per-record path's, making the two
+ * paths cycle-identical (tests/dispatch_batch_test.cpp) while the host
+ * pays table dispatch instead of a virtual call per record.
+ *
  * Multi-tenant generalisation (src/sched/). The timer also supports
  * multiple *producers*: independent monitored applications, each with its
  * own application-core clock, log stream (compressor), back-pressure and
@@ -93,6 +107,19 @@ struct LbaConfig
     double transport_bytes_per_cycle = 0.0;
     /** Record size on the transport when compression is disabled. */
     unsigned raw_record_bytes = 24;
+    /**
+     * Batched handler-table dispatch (the default). Records are queued
+     * as they are logged and drained in batches through the lifeguards'
+     * handler tables (lifeguard::DispatchEngine::consumeBatch) at the
+     * next flush boundary: the following retirement, a containment
+     * drain, a slot-reservation squeeze, or end of run. Every flush
+     * boundary precedes the next application-core cache access, so the
+     * cache-access interleaving — and therefore every cycle count — is
+     * identical to the per-record path (asserted by
+     * tests/dispatch_batch_test.cpp). False = the retained per-record
+     * virtual-dispatch path (the micro_dispatch baseline).
+     */
+    bool batched_dispatch = true;
 };
 
 /**
@@ -250,6 +277,15 @@ class PipelineTimer
      */
     void chargeContainment(unsigned producer, Cycles cycles);
 
+    /**
+     * Drain the deferred batched-dispatch queue now (no-op on the
+     * per-record path and at every natural flush boundary). External
+     * drivers call this before inspecting mid-run lifeguard state —
+     * e.g. the containment manager before checking findings, and the
+     * pool at slice boundaries so scheduling sees up-to-date lag.
+     */
+    void sync() { flushPending(); }
+
     /** The shared cache hierarchy (rewind cost modelling). */
     mem::CacheHierarchy& hierarchy() { return hierarchy_; }
 
@@ -281,7 +317,12 @@ class PipelineTimer
     void seal();
 
     /** Aggregate statistics (totals valid after finishAll()/seal()). */
-    const LbaRunStats& stats() const { return stats_; }
+    const LbaRunStats&
+    stats() const
+    {
+        syncConst();
+        return stats_;
+    }
 
     /**
      * One producer's slice of the run: its own app/stall cycles, its
@@ -349,6 +390,8 @@ class PipelineTimer
         double transport_bytes = 0.0;
         Cycles transport_wait_cycles = 0;
         std::uint64_t records = 0;
+        /** Records queued for batched dispatch but not yet consumed. */
+        std::size_t pending = 0;
 
         explicit Lane(std::size_t capacity) : buffer(capacity) {}
     };
@@ -386,11 +429,40 @@ class PipelineTimer
     void reserveSlots(Producer& producer, Lane& lane,
                       std::size_t needed);
 
-    /** Run the recurrence for one record on one lane. */
+    /**
+     * Deliver one record to one lane: push it into the lane buffer,
+     * then either consume it immediately (per-record path) or queue it
+     * for the next batched flush.
+     */
     void consumeOn(Producer& producer, Lane& lane,
                    lifeguard::DispatchEngine& engine,
                    const log::EventRecord& record, Cycles produced_at,
                    double record_bytes);
+
+    /**
+     * Fold one consumed record's @p cost into the timing recurrence:
+     * transport delivery, start/finish, lag and busy accounting, slot
+     * bookkeeping, and the consume observer.
+     */
+    void applyRecordTiming(Producer& producer, Lane& lane,
+                           const log::EventRecord& record,
+                           Cycles produced_at, double record_bytes,
+                           Cycles cost);
+
+    /**
+     * Drain the deferred dispatch queue: run every queued handler in
+     * arrival order (batched per engine run), then apply the timing
+     * recurrence per record in the same order.
+     */
+    void flushPending();
+
+    /** flushPending() from a const accessor: catching up lazily-
+     *  deferred state does not change observable results. */
+    void
+    syncConst() const
+    {
+        const_cast<PipelineTimer*>(this)->flushPending();
+    }
 
     /** Shared filtering + compression prologue of both log() variants. */
     bool admitRecord(Producer& producer, const log::EventRecord& record,
@@ -403,6 +475,25 @@ class PipelineTimer
 
     /** Scratch: per-lane slot demand of one multi-target record. */
     std::vector<std::pair<unsigned, std::size_t>> lane_demand_;
+
+    /** Deferred batched dispatch: records awaiting consumption, in
+     *  arrival order (contiguous so engine runs batch directly). */
+    std::vector<log::EventRecord> pending_records_;
+    /** Per-record routing/timing inputs parallel to pending_records_. */
+    struct PendingMeta
+    {
+        unsigned producer = 0;
+        unsigned lane = 0;
+        lifeguard::DispatchEngine* engine = nullptr;
+        Cycles produced_at = 0;
+        double bytes = 0.0;
+    };
+    std::vector<PendingMeta> pending_meta_;
+    /** Scratch: per-record handler costs of one flush. */
+    std::vector<Cycles> pending_costs_;
+    /** Re-entrancy guard: a flush is in progress (observer callbacks
+     *  may reach a syncing accessor). */
+    bool flushing_ = false;
 
     ConsumeObserver consume_observer_;
     stats::Summary consume_lag_;

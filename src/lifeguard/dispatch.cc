@@ -7,6 +7,24 @@
 
 namespace lba::lifeguard {
 
+namespace {
+
+/** Resolved slot for a legacy lifeguard: the virtual fallback. */
+void
+virtualHandler(Lifeguard& self, const log::EventRecord& record,
+               CostSink& cost)
+{
+    self.handleEvent(record, cost);
+}
+
+/** Resolved slot for an unregistered type on a table lifeguard. */
+void
+ignoreHandler(Lifeguard&, const log::EventRecord&, CostSink&)
+{
+}
+
+} // namespace
+
 DispatchEngine::DispatchEngine(Lifeguard& lifeguard,
                                mem::CacheHierarchy& hierarchy,
                                const DispatchConfig& config)
@@ -14,20 +32,74 @@ DispatchEngine::DispatchEngine(Lifeguard& lifeguard,
       config_(config),
       sink_(hierarchy, config.core)
 {
+    // Late registration would diverge from this snapshot (and the
+    // batched path from the per-record path): freeze the table.
+    lifeguard.sealHandlerTable();
+    const auto& table = lifeguard.handlers();
+    for (std::size_t t = 0; t < table.size(); ++t) {
+        if (table[t]) {
+            resolved_[t] = table[t];
+        } else {
+            resolved_[t] = lifeguard.usesHandlerTable() ? &ignoreHandler
+                                                        : &virtualHandler;
+        }
+    }
+}
+
+Cycles
+DispatchEngine::consumeTable(const log::EventRecord& record)
+{
+    return dispatchOne(record);
 }
 
 Cycles
 DispatchEngine::consume(const log::EventRecord& record)
 {
     lifeguard_.handleEvent(record, sink_);
-    Cycles cycles = config_.dispatch_cycles + sink_.take();
+    return account(record, config_.dispatch_cycles + sink_.take());
+}
 
-    ++stats_.records;
-    stats_.total_cycles += cycles;
-    auto type = static_cast<std::size_t>(record.type);
-    ++stats_.records_by_type[type];
-    stats_.cycles_by_type[type] += cycles;
-    return cycles;
+Cycles
+DispatchEngine::dispatchOne(const log::EventRecord& record)
+{
+    Lifeguard::Handler handler =
+        resolved_[static_cast<std::size_t>(record.type)];
+    if (handler == &ignoreHandler) {
+        // Unregistered type: dispatch cost only, no handler call,
+        // nothing in the sink — the hardware's "handler is just nlba"
+        // case, and exactly what consumeTable() charges.
+        return account(record, config_.dispatch_cycles);
+    }
+    handler(lifeguard_, record, sink_);
+    return account(record, config_.dispatch_cycles + sink_.take());
+}
+
+Cycles
+DispatchEngine::consumeBatch(const log::EventRecord* records,
+                             std::size_t count, Cycles* costs)
+{
+    ++stats_.batches;
+    Cycles total = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        Cycles cycles = dispatchOne(records[i]);
+        if (costs) costs[i] = cycles;
+        total += cycles;
+    }
+    return total;
+}
+
+Cycles
+DispatchEngine::consumeBatch(
+    std::span<const log::LogBuffer::Entry> entries, Cycles* costs)
+{
+    ++stats_.batches;
+    Cycles total = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        Cycles cycles = dispatchOne(entries[i].record);
+        if (costs) costs[i] = cycles;
+        total += cycles;
+    }
+    return total;
 }
 
 Cycles

@@ -11,13 +11,27 @@
  * pipelines with the previous handler; we charge a small fixed dispatch
  * cost per record (default 1 cycle).
  *
+ * Host-side dispatch mirrors that table. At construction the engine
+ * *resolves* the lifeguard's handler table: a registered handler is
+ * entered directly; for legacy lifeguards (no registrations) every slot
+ * falls back to the virtual handleEvent() call; for table-style
+ * lifeguards an unregistered event type resolves to a no-op. The
+ * batched entry points (consumeBatch) drain whole record spans through
+ * the resolved table — the fast path the timing engine and
+ * bench/micro_dispatch.cc use — while consume() is the retained
+ * per-record virtual path. Both paths charge identical simulated
+ * cycles for the same record stream: the resolved table reaches
+ * exactly the code handleEvent() reaches.
+ *
  * Handler work is charged through a CostSink that routes metadata accesses
  * through the lifeguard core's caches.
  */
 
 #include <array>
+#include <span>
 
 #include "lifeguard/lifeguard.h"
+#include "log/log_buffer.h"
 #include "mem/hierarchy.h"
 #include "stats/histogram.h"
 
@@ -39,6 +53,8 @@ struct DispatchStats
     Cycles total_cycles = 0;
     std::array<std::uint64_t, log::kNumEventTypes> records_by_type{};
     std::array<Cycles, log::kNumEventTypes> cycles_by_type{};
+    /** consumeBatch() calls (0 on the per-record path). */
+    std::uint64_t batches = 0;
 };
 
 /**
@@ -50,6 +66,10 @@ class DispatchEngine
   public:
     /**
      * @param lifeguard The lifeguard whose handlers consume records.
+     *                  Its handler table must be fully registered (i.e.
+     *                  its constructor has run) before the engine is
+     *                  built; the engine resolves the table once, here,
+     *                  and seals it (late setHandler() calls assert).
      * @param hierarchy Cache hierarchy shared with the application core.
      * @param config    Dispatch tunables.
      */
@@ -57,10 +77,35 @@ class DispatchEngine
                    const DispatchConfig& config = {});
 
     /**
-     * Consume one record: dispatch + handler execution.
+     * Consume one record: dispatch + handler execution, through the
+     * virtual handleEvent() path (the retained per-record baseline).
      * @return Cycles the lifeguard core spent on this record.
      */
     Cycles consume(const log::EventRecord& record);
+
+    /**
+     * Consume one record through the resolved handler table (no
+     * virtual dispatch). Charges exactly the cycles consume() would.
+     * @return Cycles the lifeguard core spent on this record.
+     */
+    Cycles consumeTable(const log::EventRecord& record);
+
+    /**
+     * Drain a contiguous record batch through the handler table, in
+     * order. When @p costs is non-null, costs[i] receives record i's
+     * cycles (the timing engine folds them into its recurrence).
+     * @return Total cycles across the batch.
+     */
+    Cycles consumeBatch(const log::EventRecord* records,
+                        std::size_t count, Cycles* costs = nullptr);
+
+    /**
+     * Drain a log-buffer span (see log::LogBuffer::frontSpan) through
+     * the handler table. The caller still pops the buffer.
+     * @return Total cycles across the batch.
+     */
+    Cycles consumeBatch(std::span<const log::LogBuffer::Entry> entries,
+                        Cycles* costs = nullptr);
 
     /**
      * Run the lifeguard's end-of-program hook.
@@ -102,10 +147,28 @@ class DispatchEngine
         Cycles cycles_ = 0;
     };
 
+    /** Dispatch one record through the resolved table, with the
+     *  unregistered-type fast path (batched loops). */
+    Cycles dispatchOne(const log::EventRecord& record);
+
+    /** Fold one consumed record into the statistics. */
+    Cycles
+    account(const log::EventRecord& record, Cycles cycles)
+    {
+        ++stats_.records;
+        stats_.total_cycles += cycles;
+        auto type = static_cast<std::size_t>(record.type);
+        ++stats_.records_by_type[type];
+        stats_.cycles_by_type[type] += cycles;
+        return cycles;
+    }
+
     Lifeguard& lifeguard_;
     DispatchConfig config_;
     Sink sink_;
     DispatchStats stats_;
+    /** Handler table with the null slots resolved (see file comment). */
+    std::array<Lifeguard::Handler, log::kNumEventTypes> resolved_;
 };
 
 } // namespace lba::lifeguard

@@ -9,8 +9,28 @@
  * *simulated cost* — handler instruction counts and metadata memory
  * accesses — through a CostSink, exactly mirroring the paper's own
  * methodology of event-driven lifeguard execution on a modelled core.
- * examples/custom_lifeguard.cpp shows how to write one against this
- * interface; docs/ARCHITECTURE.md describes where it sits in the system.
+ * docs/LIFEGUARD_GUIDE.md is the start-to-finish authoring guide;
+ * examples/custom_lifeguard.cpp shows a complete worked lifeguard;
+ * docs/ARCHITECTURE.md describes where it sits in the system.
+ *
+ * Handler registration mirrors the paper's `nlba` handler table: a
+ * lifeguard registers one handler function per event type at
+ * construction (onEvent<&MyGuard::onLoad>(EventType::kLoad)), and the
+ * dispatch engine jumps straight through that table — no virtual call,
+ * no per-record switch. Event types without a handler cost dispatch
+ * cycles only. The virtual handleEvent() remains as a compatibility
+ * shim: its base implementation dispatches through the table, so
+ * table-registered lifeguards work unchanged with direct handleEvent()
+ * callers (tests, the DBI platform), while legacy lifeguards may
+ * instead override handleEvent() and skip registration entirely. A
+ * lifeguard must pick ONE of the two styles — registering handlers and
+ * overriding handleEvent() on the same class would give the two
+ * dispatch paths different behaviour. Register handlers in the
+ * constructor: a dispatch engine seals the table when it resolves it,
+ * and later registration asserts. A lifeguard that neither registers
+ * nor overrides is a valid no-op monitor (every event costs dispatch
+ * cycles only) — if your checker finds nothing, check your
+ * registrations first.
  *
  * The same Lifeguard instance runs unchanged on both platforms:
  *  - LBA: the dispatch engine on the lifeguard core feeds it records from
@@ -20,8 +40,10 @@
  * Platform changes *when/where* the cost is paid, never the findings.
  */
 
+#include <array>
 #include <vector>
 
+#include "common/assert.h"
 #include "common/types.h"
 #include "lifeguard/finding.h"
 #include "log/event.h"
@@ -56,26 +78,80 @@ class NullCostSink : public CostSink
     void memAccess(Addr, bool) override {}
 };
 
+namespace detail {
+
+/** The class a pointer-to-member-function belongs to. */
+template <typename> struct MemberClass;
+
+template <typename C, typename R, typename... Args>
+struct MemberClass<R (C::*)(Args...)>
+{
+    using type = C;
+};
+
+} // namespace detail
+
 /**
  * Base class for all lifeguards.
  */
 class Lifeguard
 {
   public:
+    /**
+     * One entry of the per-event-type handler table. @p self is the
+     * registering lifeguard (handlers are plain functions so the table
+     * is a flat array of jump targets, like the hardware's).
+     */
+    using Handler = void (*)(Lifeguard& self,
+                             const log::EventRecord& record,
+                             CostSink& cost);
+
     virtual ~Lifeguard() = default;
 
     /** Human-readable lifeguard name ("AddrCheck", ...). */
     virtual const char* name() const = 0;
 
-    /** Process one event record, charging handler cost to @p cost. */
-    virtual void handleEvent(const log::EventRecord& record,
-                             CostSink& cost) = 0;
+    /**
+     * Process one event record, charging handler cost to @p cost.
+     *
+     * Compatibility shim: the base implementation dispatches through
+     * the handler table (a type with no handler is a no-op). Legacy
+     * lifeguards override this instead of registering handlers; such
+     * overrides are reached by the dispatch engine through its virtual
+     * fallback, never mixed with table entries.
+     */
+    virtual void
+    handleEvent(const log::EventRecord& record, CostSink& cost)
+    {
+        Handler handler =
+            handlers_[static_cast<std::size_t>(record.type)];
+        if (handler) handler(*this, record, cost);
+    }
 
     /**
      * End-of-program hook (e.g. AddrCheck's leak scan). Called once after
      * the last record has been consumed.
      */
     virtual void finish(CostSink& cost) { (void)cost; }
+
+    /** The per-event-type handler table (null = event ignored). */
+    const std::array<Handler, log::kNumEventTypes>&
+    handlers() const
+    {
+        return handlers_;
+    }
+
+    /** True when at least one handler was registered (table style). */
+    bool usesHandlerTable() const { return uses_handler_table_; }
+
+    /**
+     * Freeze the handler table. Called by a dispatch engine when it
+     * resolves the table; registering a handler afterwards would make
+     * the engine's snapshot diverge from the live table (and the
+     * batched path diverge from the per-record path), so setHandler()
+     * asserts against it. Idempotent.
+     */
+    void sealHandlerTable() { handlers_sealed_ = true; }
 
     /** All problems reported so far, in detection order. */
     const std::vector<Finding>& findings() const { return findings_; }
@@ -95,8 +171,50 @@ class Lifeguard
     /** Report a problem. */
     void report(Finding finding) { findings_.push_back(std::move(finding)); }
 
+    /**
+     * Register @p handler for @p type. Call from the constructor;
+     * re-registering a type replaces its entry. Asserts once a
+     * dispatch engine has sealed the table (see sealHandlerTable()).
+     */
+    void
+    setHandler(log::EventType type, Handler handler)
+    {
+        LBA_ASSERT(!handlers_sealed_,
+                   "handler registered after a dispatch engine "
+                   "resolved the table; register in the constructor");
+        handlers_[static_cast<std::size_t>(type)] = handler;
+        uses_handler_table_ = true;
+    }
+
+    /**
+     * Register a member function as the handler for @p type:
+     *
+     * @code
+     *   onEvent<&AddrCheck::checkAccess>(log::EventType::kLoad);
+     * @endcode
+     *
+     * The member must have the signature
+     * `void (const log::EventRecord&, CostSink&)` on the registering
+     * class (or a base of it).
+     */
+    template <auto Method>
+    void
+    onEvent(log::EventType type)
+    {
+        setHandler(type, [](Lifeguard& self,
+                            const log::EventRecord& record,
+                            CostSink& cost) {
+            using Class = typename detail::MemberClass<
+                decltype(Method)>::type;
+            (static_cast<Class&>(self).*Method)(record, cost);
+        });
+    }
+
   private:
     std::vector<Finding> findings_;
+    std::array<Handler, log::kNumEventTypes> handlers_{};
+    bool uses_handler_table_ = false;
+    bool handlers_sealed_ = false;
 };
 
 } // namespace lba::lifeguard

@@ -48,12 +48,18 @@ class ShadowMemory
     entry(Addr app_addr)
     {
         std::uint64_t index = granuleIndex(app_addr);
-        auto [it, inserted] = pages_.try_emplace(index / kPageEntries);
+        std::uint64_t page = index / kPageEntries;
+        if (page == cached_page_) {
+            return cached_data_[index % kPageEntries];
+        }
+        auto [it, inserted] = pages_.try_emplace(page);
         if (inserted) {
             // make_unique of an array value-initializes every element;
             // no extra clearing pass on the metadata hot path.
             it->second = std::make_unique<Entry[]>(kPageEntries);
         }
+        cached_page_ = page;
+        cached_data_ = it->second.get();
         return it->second[index % kPageEntries];
     }
 
@@ -62,9 +68,15 @@ class ShadowMemory
     find(Addr app_addr) const
     {
         std::uint64_t index = granuleIndex(app_addr);
-        auto it = pages_.find(index / kPageEntries);
-        return it == pages_.end() ? nullptr
-                                  : &it->second[index % kPageEntries];
+        std::uint64_t page = index / kPageEntries;
+        if (page == cached_page_) {
+            return &cached_data_[index % kPageEntries];
+        }
+        auto it = pages_.find(page);
+        if (it == pages_.end()) return nullptr;
+        cached_page_ = page;
+        cached_data_ = it->second.get();
+        return &it->second[index % kPageEntries];
     }
 
     /**
@@ -91,6 +103,11 @@ class ShadowMemory
 
     Addr region_base_;
     std::unordered_map<std::uint64_t, std::unique_ptr<Entry[]>> pages_;
+    /** Last-page memo: shadow accesses are highly local, so most
+     *  lookups skip the hash table entirely. Page arrays never move
+     *  once materialized (unique_ptr), so the memo cannot dangle. */
+    mutable std::uint64_t cached_page_ = ~0ull;
+    mutable Entry* cached_data_ = nullptr;
 };
 
 } // namespace lba::lifeguard

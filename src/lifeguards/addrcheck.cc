@@ -28,6 +28,12 @@ using log::EventType;
 AddrCheck::AddrCheck(const AddrCheckConfig& config)
     : config_(config), valid_(config.shadow_base)
 {
+    // The handler table (paper Section 2): every event type AddrCheck
+    // does not register costs dispatch cycles only.
+    onEvent<&AddrCheck::checkAccess>(EventType::kLoad);
+    onEvent<&AddrCheck::checkAccess>(EventType::kStore);
+    onEvent<&AddrCheck::onAlloc>(EventType::kAlloc);
+    onEvent<&AddrCheck::onFree>(EventType::kFree);
 }
 
 void
@@ -103,43 +109,31 @@ AddrCheck::checkAccess(const EventRecord& record, CostSink& cost)
 }
 
 void
-AddrCheck::handleEvent(const EventRecord& record, CostSink& cost)
+AddrCheck::onAlloc(const EventRecord& record, CostSink& cost)
 {
-    switch (record.type) {
-      case EventType::kLoad:
-      case EventType::kStore:
-        checkAccess(record, cost);
-        break;
+    cost.instrs(10);
+    if (record.addr == 0) return; // failed allocation
+    live_[record.addr] = record.aux;
+    live_bytes_ += record.aux;
+    markRange(record.addr, record.aux, true, cost);
+    // Re-allocation of a previously reported granule is legitimate
+    // again; forget dedupe state lazily (host-side only).
+}
 
-      case EventType::kAlloc: {
-        cost.instrs(10);
-        if (record.addr == 0) break; // failed allocation
-        live_[record.addr] = record.aux;
-        live_bytes_ += record.aux;
-        markRange(record.addr, record.aux, true, cost);
-        // Re-allocation of a previously reported granule is legitimate
-        // again; forget dedupe state lazily (host-side only).
-        break;
-      }
-
-      case EventType::kFree: {
-        cost.instrs(10);
-        auto it = live_.find(record.addr);
-        if (it == live_.end()) {
-            report({FindingKind::kDoubleFree, record.pc, record.addr,
-                    record.tid,
-                    "free() of address that is not a live block"});
-            break;
-        }
-        markRange(record.addr, it->second, false, cost);
-        live_bytes_ -= it->second;
-        live_.erase(it);
-        break;
-      }
-
-      default:
-        break; // all other events: dispatch cost only
+void
+AddrCheck::onFree(const EventRecord& record, CostSink& cost)
+{
+    cost.instrs(10);
+    auto it = live_.find(record.addr);
+    if (it == live_.end()) {
+        report({FindingKind::kDoubleFree, record.pc, record.addr,
+                record.tid,
+                "free() of address that is not a live block"});
+        return;
     }
+    markRange(record.addr, it->second, false, cost);
+    live_bytes_ -= it->second;
+    live_.erase(it);
 }
 
 void

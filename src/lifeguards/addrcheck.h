@@ -40,18 +40,23 @@ class AddrCheck : public lifeguard::Lifeguard
 
     const char* name() const override { return "AddrCheck"; }
 
-    void handleEvent(const log::EventRecord& record,
-                     lifeguard::CostSink& cost) override;
-
     void finish(lifeguard::CostSink& cost) override;
 
     /** Bytes currently marked allocated (for tests). */
     std::uint64_t liveBytes() const { return live_bytes_; }
 
   private:
-    /** Handle a load/store record. */
+    /** kLoad/kStore handler. */
     void checkAccess(const log::EventRecord& record,
                      lifeguard::CostSink& cost);
+
+    /** kAlloc handler: mark the block valid, track it as live. */
+    void onAlloc(const log::EventRecord& record,
+                 lifeguard::CostSink& cost);
+
+    /** kFree handler: clear validity, catch double frees. */
+    void onFree(const log::EventRecord& record,
+                lifeguard::CostSink& cost);
 
     /** Mark or clear [base, base+size) validity bits. */
     void markRange(Addr base, std::uint64_t size, bool allocated,

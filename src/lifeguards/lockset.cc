@@ -78,6 +78,14 @@ LockSet::LockSet(const LockSetConfig& config)
       table_(config.lockset_table_base),
       granules_(config.shadow_base)
 {
+    // The handler table: memory accesses drive the Eraser state
+    // machine, lock annotations maintain the held-lock sets, alloc
+    // annotations reset recycled granules.
+    onEvent<&LockSet::onLoad>(EventType::kLoad);
+    onEvent<&LockSet::onStore>(EventType::kStore);
+    onEvent<&LockSet::onLock>(EventType::kLock);
+    onEvent<&LockSet::onUnlock>(EventType::kUnlock);
+    onEvent<&LockSet::onAlloc>(EventType::kAlloc);
 }
 
 std::uint32_t
@@ -198,38 +206,44 @@ LockSet::handleAccess(const EventRecord& record, bool is_write,
 }
 
 void
-LockSet::handleEvent(const EventRecord& record, CostSink& cost)
+LockSet::onLoad(const EventRecord& record, CostSink& cost)
 {
-    switch (record.type) {
-      case EventType::kLoad:
-        handleAccess(record, false, cost);
-        break;
-      case EventType::kStore:
-        handleAccess(record, true, cost);
-        break;
-      case EventType::kLock:
-        handleLock(record, true, cost);
-        break;
-      case EventType::kUnlock:
-        if (record.aux != 0) handleLock(record, false, cost);
-        break;
-      case EventType::kAlloc:
-        // Reallocation resets the Eraser state machine: the new owner
-        // must not inherit sharing history (or races!) from the block's
-        // previous life. Eraser does this via its malloc hook.
-        cost.instrs(6);
-        if (record.addr != 0) {
-            for (Addr g = record.addr & ~7ull;
-                 g < record.addr + record.aux; g += 8) {
-                granules_.entry(g) = Granule{};
-                reported_.erase(g >> 3);
-                // One 8-byte shadow store per granule (memset loop).
-                cost.memAccess(granules_.shadowAddr(g), true);
-            }
+    handleAccess(record, false, cost);
+}
+
+void
+LockSet::onStore(const EventRecord& record, CostSink& cost)
+{
+    handleAccess(record, true, cost);
+}
+
+void
+LockSet::onLock(const EventRecord& record, CostSink& cost)
+{
+    handleLock(record, true, cost);
+}
+
+void
+LockSet::onUnlock(const EventRecord& record, CostSink& cost)
+{
+    if (record.aux != 0) handleLock(record, false, cost);
+}
+
+void
+LockSet::onAlloc(const EventRecord& record, CostSink& cost)
+{
+    // Reallocation resets the Eraser state machine: the new owner
+    // must not inherit sharing history (or races!) from the block's
+    // previous life. Eraser does this via its malloc hook.
+    cost.instrs(6);
+    if (record.addr != 0) {
+        for (Addr g = record.addr & ~7ull; g < record.addr + record.aux;
+             g += 8) {
+            granules_.entry(g) = Granule{};
+            reported_.erase(g >> 3);
+            // One 8-byte shadow store per granule (memset loop).
+            cost.memAccess(granules_.shadowAddr(g), true);
         }
-        break;
-      default:
-        break; // dispatch cost only
     }
 }
 

@@ -91,9 +91,6 @@ class LockSet : public lifeguard::Lifeguard
 
     const char* name() const override { return "LockSet"; }
 
-    void handleEvent(const log::EventRecord& record,
-                     lifeguard::CostSink& cost) override;
-
     /** Current lockset id of a thread (tests). */
     std::uint32_t threadLockset(ThreadId tid) const;
 
@@ -123,6 +120,18 @@ class LockSet : public lifeguard::Lifeguard
         std::vector<Addr> held; // sorted
         std::uint32_t id = LocksetTable::kEmpty;
     };
+
+    // Handler-table entries.
+    void onLoad(const log::EventRecord& record,
+                lifeguard::CostSink& cost);
+    void onStore(const log::EventRecord& record,
+                 lifeguard::CostSink& cost);
+    void onLock(const log::EventRecord& record,
+                lifeguard::CostSink& cost);
+    void onUnlock(const log::EventRecord& record,
+                  lifeguard::CostSink& cost);
+    void onAlloc(const log::EventRecord& record,
+                 lifeguard::CostSink& cost);
 
     void handleAccess(const log::EventRecord& record, bool is_write,
                       lifeguard::CostSink& cost);

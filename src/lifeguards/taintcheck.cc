@@ -29,6 +29,19 @@ using log::EventType;
 TaintCheck::TaintCheck(const TaintCheckConfig& config)
     : config_(config), taint_(config.shadow_base)
 {
+    // The handler table: TaintCheck watches *all* dataflow-relevant
+    // instruction classes (the paper's distinction from
+    // address-triggered schemes) plus the input/alloc annotations.
+    onEvent<&TaintCheck::onLoadImm>(EventType::kLoadImm);
+    onEvent<&TaintCheck::onMove>(EventType::kMove);
+    onEvent<&TaintCheck::onAlu>(EventType::kIntAlu);
+    onEvent<&TaintCheck::onLoad>(EventType::kLoad);
+    onEvent<&TaintCheck::onStore>(EventType::kStore);
+    onEvent<&TaintCheck::onIndirectTransfer>(EventType::kIndirectJump);
+    onEvent<&TaintCheck::onIndirectTransfer>(EventType::kIndirectCall);
+    onEvent<&TaintCheck::onReturn>(EventType::kReturn);
+    onEvent<&TaintCheck::onInput>(EventType::kInput);
+    onEvent<&TaintCheck::onAlloc>(EventType::kAlloc);
 }
 
 bool
@@ -111,91 +124,96 @@ TaintCheck::writeMemTaint(Addr addr, unsigned bytes, bool tainted,
 }
 
 void
-TaintCheck::handleEvent(const EventRecord& record, CostSink& cost)
+TaintCheck::checkJump(const EventRecord& record, RegIndex source_reg,
+                      CostSink& cost)
 {
-    auto check_jump = [&](RegIndex source_reg) {
-        cost.instrs(2);
-        if (!regBit(record.tid, source_reg)) return;
-        if (config_.dedupe_reports && !reported_.insert(record.pc).second) {
-            return;
-        }
-        char msg[96];
-        std::snprintf(msg, sizeof(msg),
-                      "control transfer through tainted register r%u",
-                      static_cast<unsigned>(source_reg));
-        report({FindingKind::kTaintedJump, record.pc, record.addr,
-                record.tid, msg});
-    };
+    cost.instrs(2);
+    if (!regBit(record.tid, source_reg)) return;
+    if (config_.dedupe_reports && !reported_.insert(record.pc).second) {
+        return;
+    }
+    char msg[96];
+    std::snprintf(msg, sizeof(msg),
+                  "control transfer through tainted register r%u",
+                  static_cast<unsigned>(source_reg));
+    report({FindingKind::kTaintedJump, record.pc, record.addr,
+            record.tid, msg});
+}
 
-    switch (record.type) {
-      case EventType::kLoadImm:
-        cost.instrs(1);
-        if (static_cast<isa::Opcode>(record.opcode) == isa::Opcode::kLi) {
-            setRegBit(record.tid, record.rd, false);
-        }
-        // lih mixes an immediate into rd: taint of rd is unchanged.
-        break;
+void
+TaintCheck::onLoadImm(const EventRecord& record, CostSink& cost)
+{
+    cost.instrs(1);
+    if (static_cast<isa::Opcode>(record.opcode) == isa::Opcode::kLi) {
+        setRegBit(record.tid, record.rd, false);
+    }
+    // lih mixes an immediate into rd: taint of rd is unchanged.
+}
 
-      case EventType::kMove:
-        cost.instrs(2);
-        setRegBit(record.tid, record.rd,
-                  regBit(record.tid, record.rs1));
-        break;
+void
+TaintCheck::onMove(const EventRecord& record, CostSink& cost)
+{
+    cost.instrs(2);
+    setRegBit(record.tid, record.rd, regBit(record.tid, record.rs1));
+}
 
-      case EventType::kIntAlu: {
-        cost.instrs(4);
-        auto op = static_cast<isa::Opcode>(record.opcode);
-        bool tainted = regBit(record.tid, record.rs1);
-        if (isa::readsRs2(op)) {
-            tainted = tainted || regBit(record.tid, record.rs2);
-        }
-        setRegBit(record.tid, record.rd, tainted);
-        break;
-      }
+void
+TaintCheck::onAlu(const EventRecord& record, CostSink& cost)
+{
+    cost.instrs(4);
+    auto op = static_cast<isa::Opcode>(record.opcode);
+    bool tainted = regBit(record.tid, record.rs1);
+    if (isa::readsRs2(op)) {
+        tainted = tainted || regBit(record.tid, record.rs2);
+    }
+    setRegBit(record.tid, record.rd, tainted);
+}
 
-      case EventType::kLoad: {
-        cost.instrs(6);
-        unsigned bytes =
-            static_cast<unsigned>(record.aux ? record.aux : 1);
-        bool tainted = readMemTaint(record.addr, bytes, cost);
-        setRegBit(record.tid, record.rd, tainted);
-        break;
-      }
+void
+TaintCheck::onLoad(const EventRecord& record, CostSink& cost)
+{
+    cost.instrs(6);
+    unsigned bytes = static_cast<unsigned>(record.aux ? record.aux : 1);
+    bool tainted = readMemTaint(record.addr, bytes, cost);
+    setRegBit(record.tid, record.rd, tainted);
+}
 
-      case EventType::kStore: {
-        cost.instrs(6);
-        unsigned bytes =
-            static_cast<unsigned>(record.aux ? record.aux : 1);
-        writeMemTaint(record.addr, bytes,
-                      regBit(record.tid, record.rs2), cost);
-        break;
-      }
+void
+TaintCheck::onStore(const EventRecord& record, CostSink& cost)
+{
+    cost.instrs(6);
+    unsigned bytes = static_cast<unsigned>(record.aux ? record.aux : 1);
+    writeMemTaint(record.addr, bytes, regBit(record.tid, record.rs2),
+                  cost);
+}
 
-      case EventType::kIndirectJump:
-      case EventType::kIndirectCall:
-        check_jump(record.rs1);
-        break;
+void
+TaintCheck::onIndirectTransfer(const EventRecord& record, CostSink& cost)
+{
+    checkJump(record, record.rs1, cost);
+}
 
-      case EventType::kReturn:
-        check_jump(isa::kRegLr);
-        break;
+void
+TaintCheck::onReturn(const EventRecord& record, CostSink& cost)
+{
+    checkJump(record, isa::kRegLr, cost);
+}
 
-      case EventType::kInput:
-        cost.instrs(6);
+void
+TaintCheck::onInput(const EventRecord& record, CostSink& cost)
+{
+    cost.instrs(6);
+    writeMemTaint(record.addr, static_cast<unsigned>(record.aux), true,
+                  cost);
+}
+
+void
+TaintCheck::onAlloc(const EventRecord& record, CostSink& cost)
+{
+    cost.instrs(4);
+    if (record.addr != 0 && record.aux != 0) {
         writeMemTaint(record.addr, static_cast<unsigned>(record.aux),
-                      true, cost);
-        break;
-
-      case EventType::kAlloc:
-        cost.instrs(4);
-        if (record.addr != 0 && record.aux != 0) {
-            writeMemTaint(record.addr, static_cast<unsigned>(record.aux),
-                          false, cost);
-        }
-        break;
-
-      default:
-        break; // branches, direct jumps, frees...: dispatch cost only
+                      false, cost);
     }
 }
 

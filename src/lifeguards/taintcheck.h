@@ -37,9 +37,6 @@ class TaintCheck : public lifeguard::Lifeguard
 
     const char* name() const override { return "TaintCheck"; }
 
-    void handleEvent(const log::EventRecord& record,
-                     lifeguard::CostSink& cost) override;
-
     /** True when register @p reg of thread @p tid is tainted (tests). */
     bool regTainted(ThreadId tid, RegIndex reg) const;
 
@@ -47,6 +44,30 @@ class TaintCheck : public lifeguard::Lifeguard
     bool memTainted(Addr addr, unsigned bytes) const;
 
   private:
+    // Handler-table entries (one per event type the lifeguard tracks).
+    void onLoadImm(const log::EventRecord& record,
+                   lifeguard::CostSink& cost);
+    void onMove(const log::EventRecord& record,
+                lifeguard::CostSink& cost);
+    void onAlu(const log::EventRecord& record,
+               lifeguard::CostSink& cost);
+    void onLoad(const log::EventRecord& record,
+                lifeguard::CostSink& cost);
+    void onStore(const log::EventRecord& record,
+                 lifeguard::CostSink& cost);
+    void onIndirectTransfer(const log::EventRecord& record,
+                            lifeguard::CostSink& cost);
+    void onReturn(const log::EventRecord& record,
+                  lifeguard::CostSink& cost);
+    void onInput(const log::EventRecord& record,
+                 lifeguard::CostSink& cost);
+    void onAlloc(const log::EventRecord& record,
+                 lifeguard::CostSink& cost);
+
+    /** Tainted-jump check shared by the control-transfer handlers. */
+    void checkJump(const log::EventRecord& record, RegIndex source_reg,
+                   lifeguard::CostSink& cost);
+
     /** Taint mask covering [addr, addr+bytes) (read path). */
     bool readMemTaint(Addr addr, unsigned bytes,
                       lifeguard::CostSink& cost);

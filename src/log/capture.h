@@ -6,6 +6,7 @@
  */
 
 #include <functional>
+#include <vector>
 
 #include "log/event.h"
 #include "sim/process.h"
@@ -45,6 +46,30 @@ class CaptureUnit : public sim::RetireObserver
 
   private:
     Sink sink_;
+};
+
+/**
+ * A RetireObserver that records a run's entire event stream, exactly
+ * as the capture unit would log it — the tool for replaying one
+ * stream through several consumers (determinism tests, the dispatch
+ * throughput bench) without re-simulating.
+ */
+class RecordingObserver : public sim::RetireObserver
+{
+  public:
+    void
+    onRetire(const sim::Retired& retired) override
+    {
+        stream.push_back(CaptureUnit::makeRecord(retired));
+    }
+
+    void
+    onOsEvent(const sim::OsEvent& event) override
+    {
+        stream.push_back(CaptureUnit::makeRecord(event));
+    }
+
+    std::vector<EventRecord> stream;
 };
 
 } // namespace lba::log

@@ -5,12 +5,14 @@
 
 #include "log/log_buffer.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 
 namespace lba::log {
 
 LogBuffer::LogBuffer(std::size_t capacity)
-    : capacity_(capacity)
+    : capacity_(capacity), ring_(capacity)
 {
     LBA_ASSERT(capacity > 0, "log buffer capacity must be positive");
 }
@@ -22,10 +24,15 @@ LogBuffer::push(const EventRecord& record, Cycles produced_at)
         ++stats_.full_events;
         return false;
     }
-    entries_.push_back({record, produced_at});
+    // Wrap by compare-and-subtract: head_ + size_ < 2 * capacity_
+    // always, and a branch beats an integer division in this hot loop.
+    std::size_t slot = head_ + size_;
+    if (slot >= capacity_) slot -= capacity_;
+    ring_[slot] = {record, produced_at};
+    ++size_;
     ++stats_.pushes;
-    if (entries_.size() > stats_.max_occupancy) {
-        stats_.max_occupancy = entries_.size();
+    if (size_ > stats_.max_occupancy) {
+        stats_.max_occupancy = size_;
     }
     return true;
 }
@@ -33,20 +40,36 @@ LogBuffer::push(const EventRecord& record, Cycles produced_at)
 bool
 LogBuffer::pop(Entry* out)
 {
-    if (entries_.empty()) {
+    if (size_ == 0) {
         ++stats_.empty_events;
         return false;
     }
-    if (out) *out = entries_.front();
-    entries_.pop_front();
-    ++stats_.pops;
+    if (out) *out = ring_[head_];
+    popN(1);
     return true;
 }
 
 const LogBuffer::Entry*
 LogBuffer::front() const
 {
-    return entries_.empty() ? nullptr : &entries_.front();
+    return size_ == 0 ? nullptr : &ring_[head_];
+}
+
+std::span<const LogBuffer::Entry>
+LogBuffer::frontSpan(std::size_t max) const
+{
+    std::size_t n = std::min({max, size_, capacity_ - head_});
+    return {ring_.data() + head_, n};
+}
+
+void
+LogBuffer::popN(std::size_t n)
+{
+    LBA_ASSERT(n <= size_, "popN() past the end of the buffer");
+    head_ += n;
+    if (head_ >= capacity_) head_ -= capacity_;
+    size_ -= n;
+    stats_.pops += n;
 }
 
 } // namespace lba::log

@@ -12,12 +12,20 @@
  * the producing core appended it so the coupled timing model can honour
  * "a record cannot be consumed before it was produced".
  *
+ * Storage is a contiguous ring so a consumer can drain in *batches*:
+ * frontSpan() exposes the oldest queued entries as a contiguous span
+ * (clipped at the ring wrap) and popN() retires them in one step — the
+ * fast path the batched dispatch engine and the host-side throughput
+ * bench (bench/micro_dispatch.cc) drain through. The one-at-a-time
+ * push/pop API is unchanged and interoperates with the batch API.
+ *
  * The produce/start/finish recurrence that consumes this buffer is
  * documented in core/lba_system.h and docs/ARCHITECTURE.md.
  */
 
 #include <cstdint>
-#include <deque>
+#include <span>
+#include <vector>
 
 #include "common/types.h"
 #include "log/event.h"
@@ -53,12 +61,12 @@ class LogBuffer
     explicit LogBuffer(std::size_t capacity);
 
     /** True when no further records fit. */
-    bool full() const { return entries_.size() >= capacity_; }
+    bool full() const { return size_ >= capacity_; }
 
     /** True when no records are queued. */
-    bool empty() const { return entries_.empty(); }
+    bool empty() const { return size_ == 0; }
 
-    std::size_t size() const { return entries_.size(); }
+    std::size_t size() const { return size_; }
     std::size_t capacity() const { return capacity_; }
 
     /**
@@ -76,11 +84,28 @@ class LogBuffer
     /** Peek at the oldest record without removing it. */
     const Entry* front() const;
 
+    /**
+     * Contiguous view of up to @p max of the oldest queued entries,
+     * without removing them. The span may be shorter than both @p max
+     * and size() when the ring wraps; call again after popN() to see
+     * the remainder. Invalidated by any push/pop.
+     */
+    std::span<const Entry> frontSpan(std::size_t max) const;
+
+    /**
+     * Remove the @p n oldest records in one step (counted as @p n
+     * pops). @p n must not exceed size().
+     */
+    void popN(std::size_t n);
+
     const LogBufferStats& stats() const { return stats_; }
 
   private:
     std::size_t capacity_;
-    std::deque<Entry> entries_;
+    /** Ring storage: entries live at (head_ + i) % capacity_. */
+    std::vector<Entry> ring_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
     LogBufferStats stats_;
 };
 

@@ -86,6 +86,10 @@ void
 ContainmentManager::checkFindings()
 {
     if (pending_) return;
+    // Batched dispatch defers handler execution to the next flush
+    // boundary; detection latency must not depend on the dispatch
+    // mode, so catch the engine up before reading findings.
+    timer_.sync();
     for (std::size_t g = 0; g < watched_.size(); ++g) {
         const auto& findings = watched_[g]->findings();
         while (seen_[g] < findings.size()) {

@@ -165,6 +165,174 @@ TEST(Dispatch, LifeguardCoreIsConfigurable)
     EXPECT_EQ(hierarchy.l1d(1).stats().accesses(), 0u);
 }
 
+/** A table-style lifeguard: handlers registered, no override. */
+class TableLifeguard : public Lifeguard
+{
+  public:
+    TableLifeguard()
+    {
+        onEvent<&TableLifeguard::onAlu>(log::EventType::kIntAlu);
+        onEvent<&TableLifeguard::onLoad>(log::EventType::kLoad);
+    }
+
+    const char* name() const override { return "Table"; }
+
+    void
+    onAlu(const log::EventRecord&, CostSink& cost)
+    {
+        ++alu_events;
+        cost.instrs(3);
+    }
+
+    void
+    onLoad(const log::EventRecord& record, CostSink& cost)
+    {
+        ++load_events;
+        cost.instrs(7);
+        cost.memAccess(0x4000000000ull + record.addr / 8, false);
+    }
+
+    int alu_events = 0;
+    int load_events = 0;
+};
+
+TEST(HandlerTable, RegistrationPopulatesTable)
+{
+    TableLifeguard guard;
+    EXPECT_TRUE(guard.usesHandlerTable());
+    const auto& table = guard.handlers();
+    EXPECT_NE(table[static_cast<std::size_t>(log::EventType::kIntAlu)],
+              nullptr);
+    EXPECT_NE(table[static_cast<std::size_t>(log::EventType::kLoad)],
+              nullptr);
+    EXPECT_EQ(table[static_cast<std::size_t>(log::EventType::kStore)],
+              nullptr);
+
+    FixedCostLifeguard legacy;
+    EXPECT_FALSE(legacy.usesHandlerTable());
+}
+
+TEST(HandlerTable, BaseShimDispatchesThroughTable)
+{
+    // handleEvent() on a table lifeguard reaches the registered
+    // handler — so direct callers (tests, the DBI platform) and the
+    // dispatch engine see the same behaviour.
+    TableLifeguard guard;
+    NullCostSink sink;
+    log::EventRecord alu;
+    alu.type = log::EventType::kIntAlu;
+    guard.handleEvent(alu, sink);
+    EXPECT_EQ(guard.alu_events, 1);
+
+    // Unregistered type: no-op, no crash.
+    log::EventRecord store;
+    store.type = log::EventType::kStore;
+    guard.handleEvent(store, sink);
+    EXPECT_EQ(guard.alu_events, 1);
+    EXPECT_EQ(guard.load_events, 0);
+}
+
+TEST(HandlerTable, TableAndVirtualPathsChargeIdenticalCycles)
+{
+    log::EventRecord alu;
+    alu.type = log::EventType::kIntAlu;
+    log::EventRecord load;
+    load.type = log::EventType::kLoad;
+    load.addr = 0x20000;
+    log::EventRecord store; // unregistered
+    store.type = log::EventType::kStore;
+
+    auto run = [&](bool table_path) {
+        TableLifeguard guard;
+        mem::CacheHierarchy hierarchy(mem::HierarchyConfig{});
+        DispatchEngine engine(guard, hierarchy, {1, 1});
+        Cycles total = 0;
+        for (const auto* rec : {&alu, &load, &store, &load, &alu}) {
+            total += table_path ? engine.consumeTable(*rec)
+                                : engine.consume(*rec);
+        }
+        return total;
+    };
+    EXPECT_EQ(run(true), run(false));
+}
+
+TEST(HandlerTable, ConsumeBatchMatchesPerRecordConsume)
+{
+    std::vector<log::EventRecord> records;
+    for (int i = 0; i < 64; ++i) {
+        log::EventRecord rec;
+        rec.type = (i % 3 == 0) ? log::EventType::kLoad
+                                : log::EventType::kIntAlu;
+        rec.addr = 0x20000 + static_cast<Addr>(i) * 64;
+        records.push_back(rec);
+    }
+
+    TableLifeguard batched_guard;
+    mem::CacheHierarchy batched_hierarchy(mem::HierarchyConfig{});
+    DispatchEngine batched(batched_guard, batched_hierarchy, {1, 1});
+    std::vector<Cycles> costs(records.size());
+    Cycles total = batched.consumeBatch(records.data(), records.size(),
+                                        costs.data());
+
+    TableLifeguard record_guard;
+    mem::CacheHierarchy record_hierarchy(mem::HierarchyConfig{});
+    DispatchEngine per_record(record_guard, record_hierarchy, {1, 1});
+    Cycles expected = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        Cycles c = per_record.consume(records[i]);
+        EXPECT_EQ(costs[i], c) << i;
+        expected += c;
+    }
+    EXPECT_EQ(total, expected);
+    EXPECT_EQ(batched.stats().records, per_record.stats().records);
+    EXPECT_EQ(batched.stats().total_cycles,
+              per_record.stats().total_cycles);
+    EXPECT_EQ(batched.stats().batches, 1u);
+    EXPECT_EQ(per_record.stats().batches, 0u);
+    EXPECT_EQ(batched_guard.load_events, record_guard.load_events);
+    EXPECT_EQ(batched_guard.alu_events, record_guard.alu_events);
+}
+
+TEST(HandlerTable, LogBufferSpanDrain)
+{
+    // The frontSpan/consumeBatch/popN drain loop — the shape the
+    // micro_dispatch bench and the timing engine use.
+    log::LogBuffer buffer(32);
+    for (int i = 0; i < 20; ++i) {
+        log::EventRecord rec;
+        rec.type = log::EventType::kIntAlu;
+        buffer.push(rec, static_cast<Cycles>(i));
+    }
+    TableLifeguard guard;
+    mem::CacheHierarchy hierarchy(mem::HierarchyConfig{});
+    DispatchEngine engine(guard, hierarchy, {1, 1});
+    while (!buffer.empty()) {
+        auto span = buffer.frontSpan(8);
+        engine.consumeBatch(span);
+        buffer.popN(span.size());
+    }
+    EXPECT_EQ(guard.alu_events, 20);
+    EXPECT_EQ(engine.stats().records, 20u);
+    // dispatch(1) + instrs(3) per record.
+    EXPECT_EQ(engine.stats().total_cycles, 20u * 4u);
+}
+
+TEST(HandlerTable, LegacyLifeguardFallsBackToVirtualDispatch)
+{
+    // A lifeguard that never registered handlers must still work
+    // through the batched path (resolved to the virtual fallback).
+    FixedCostLifeguard guard;
+    mem::CacheHierarchy hierarchy(mem::HierarchyConfig{});
+    DispatchEngine engine(guard, hierarchy, {1, 1});
+    log::EventRecord alu;
+    alu.type = log::EventType::kIntAlu;
+    std::vector<log::EventRecord> records(5, alu);
+    Cycles total =
+        engine.consumeBatch(records.data(), records.size(), nullptr);
+    EXPECT_EQ(guard.events, 5);
+    EXPECT_EQ(total, 5u * 6u); // dispatch(1) + instrs(5)
+}
+
 TEST(Lifeguard, FindingAccumulation)
 {
     class Reporter : public Lifeguard

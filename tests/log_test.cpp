@@ -207,6 +207,109 @@ TEST(LogBuffer, RandomInterleavingPreservesStream)
     }
 }
 
+TEST(LogBuffer, FrontSpanIsContiguousPrefix)
+{
+    LogBuffer buf(8);
+    for (int i = 0; i < 5; ++i) {
+        EventRecord rec;
+        rec.pc = 0x1000 + i * 8;
+        ASSERT_TRUE(buf.push(rec, i));
+    }
+    auto span = buf.frontSpan(3);
+    ASSERT_EQ(span.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(span[i].record.pc, 0x1000u + i * 8);
+        EXPECT_EQ(span[i].produced_at, static_cast<Cycles>(i));
+    }
+    // A view larger than the occupancy clips to it.
+    EXPECT_EQ(buf.frontSpan(100).size(), 5u);
+    // Peeking does not consume.
+    EXPECT_EQ(buf.size(), 5u);
+    EXPECT_EQ(buf.stats().pops, 0u);
+}
+
+TEST(LogBuffer, PopNRetiresOldestAndCountsPops)
+{
+    LogBuffer buf(8);
+    EventRecord rec;
+    for (int i = 0; i < 6; ++i) {
+        rec.addr = static_cast<Addr>(i);
+        buf.push(rec, i);
+    }
+    buf.popN(4);
+    EXPECT_EQ(buf.size(), 2u);
+    EXPECT_EQ(buf.stats().pops, 4u);
+    ASSERT_NE(buf.front(), nullptr);
+    EXPECT_EQ(buf.front()->record.addr, 4u);
+}
+
+TEST(LogBuffer, FrontSpanClipsAtRingWrapThenExposesRemainder)
+{
+    // Fill, drain 3, refill: the queue now wraps the ring boundary.
+    LogBuffer buf(4);
+    EventRecord rec;
+    for (int i = 0; i < 4; ++i) {
+        rec.addr = static_cast<Addr>(i);
+        buf.push(rec, i);
+    }
+    buf.popN(3);
+    for (int i = 4; i < 7; ++i) {
+        rec.addr = static_cast<Addr>(i);
+        ASSERT_TRUE(buf.push(rec, i));
+    }
+    ASSERT_EQ(buf.size(), 4u);
+
+    // First span: only the tail of the ring (entry 3) is contiguous.
+    auto head = buf.frontSpan(100);
+    ASSERT_EQ(head.size(), 1u);
+    EXPECT_EQ(head[0].record.addr, 3u);
+    buf.popN(head.size());
+
+    // Second span: the wrapped remainder, contiguous from slot 0.
+    auto tail = buf.frontSpan(100);
+    ASSERT_EQ(tail.size(), 3u);
+    for (std::size_t i = 0; i < tail.size(); ++i) {
+        EXPECT_EQ(tail[i].record.addr, 4u + i);
+    }
+}
+
+/** Property: batch pops interleaved with pushes preserve the stream. */
+TEST(LogBuffer, BatchDrainPreservesStream)
+{
+    LogBuffer buf(16);
+    std::uint64_t state = 99;
+    std::uint64_t pushed = 0;
+    std::vector<std::uint64_t> out;
+    while (out.size() < 1000) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        if ((state & 3) != 0 && pushed < 1000 && !buf.full()) {
+            EventRecord rec;
+            rec.addr = pushed;
+            ASSERT_TRUE(buf.push(rec, pushed));
+            ++pushed;
+        } else if (!buf.empty()) {
+            auto span = buf.frontSpan(1 + (state % 8));
+            ASSERT_FALSE(span.empty());
+            for (const auto& entry : span) {
+                out.push_back(entry.record.addr);
+            }
+            buf.popN(span.size());
+        } else if (pushed >= 1000) {
+            break;
+        }
+    }
+    while (!buf.empty()) {
+        out.push_back(buf.front()->record.addr);
+        buf.popN(1);
+    }
+    ASSERT_EQ(out.size(), pushed);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i], i);
+    }
+}
+
 TEST(EventRecord, ToStringMentionsTypeAndPc)
 {
     EventRecord rec;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "log/capture.h"
 #include "sim/process.h"
 #include "workload/generator.h"
 #include "workload/profile.h"
@@ -41,6 +42,65 @@ TEST(Generator, DeterministicPrograms)
     auto b = generate(*p, {}, 100000);
     EXPECT_EQ(a.program, b.program);
     EXPECT_EQ(a.iterations, b.iterations);
+}
+
+std::vector<log::EventRecord>
+recordStream(const std::vector<isa::Instruction>& program)
+{
+    sim::Process process{sim::ProcessConfig{}};
+    process.load(program);
+    log::RecordingObserver recorder;
+    process.run(&recorder);
+    return recorder.stream;
+}
+
+/**
+ * Same seed + profile => identical *event stream*, not just an
+ * identical program: every differential test in the tree (batched vs
+ * per-record dispatch, serial vs parallel, pool vs parallel) silently
+ * relies on the two runs it compares observing the exact same records
+ * in the exact same order.
+ */
+TEST(Generator, DeterministicEventStream)
+{
+    for (const char* name : {"gzip", "bc", "water"}) {
+        SCOPED_TRACE(name);
+        const Profile* profile = findProfile(name);
+        ASSERT_NE(profile, nullptr);
+        auto generated = generate(*profile, {}, 30000);
+        auto first = recordStream(generated.program);
+        auto second = recordStream(generated.program);
+        ASSERT_FALSE(first.empty());
+        ASSERT_EQ(first.size(), second.size());
+        for (std::size_t i = 0; i < first.size(); ++i) {
+            ASSERT_EQ(first[i], second[i]) << "record " << i;
+        }
+
+        // Regenerating from the profile gives the same stream too
+        // (generator and simulator both deterministic end to end).
+        auto regenerated = generate(*profile, {}, 30000);
+        auto third = recordStream(regenerated.program);
+        ASSERT_EQ(first.size(), third.size());
+        for (std::size_t i = 0; i < first.size(); ++i) {
+            ASSERT_EQ(first[i], third[i]) << "record " << i;
+        }
+    }
+}
+
+/** Bug injection must not break stream determinism either. */
+TEST(Generator, DeterministicEventStreamWithBugs)
+{
+    BugInjection bugs;
+    bugs.use_after_free = true;
+    bugs.leak = true;
+    auto generated = generate(*findProfile("bc"), bugs, 30000);
+    auto first = recordStream(generated.program);
+    auto second = recordStream(generated.program);
+    ASSERT_FALSE(first.empty());
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        ASSERT_EQ(first[i], second[i]) << "record " << i;
+    }
 }
 
 TEST(Generator, DistinctBenchmarksDiffer)

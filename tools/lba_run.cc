@@ -11,13 +11,19 @@
  *           [--tenants N] [--lanes M] [--sched static|rr|lag]
  *           [--containment abort|skip|patch|quarantine]
  *           [--checkpoint-interval N] [--json PATH]
+ *           [--dispatch batched|per-record]
  *
  * With --tenants N the benchmark argument may be a comma-separated
  * list of profiles; the N tenants cycle through it and share an M-lane
  * lifeguard pool under the chosen scheduling policy (src/sched/).
  * --containment enables rewind-and-repair containment under the chosen
  * repair policy (src/replay/containment.h); the `--containment=policy`
- * spelling is accepted too. --json writes a machine-readable copy of
+ * spelling is accepted too. --dispatch selects the lifeguard-core
+ * dispatch implementation: `batched` (the default) drains records in
+ * batches through the per-event-type handler tables, `per-record` is
+ * the retained virtual-dispatch baseline; the two are cycle-identical
+ * by construction (docs/ARCHITECTURE.md). --json writes a
+ * machine-readable copy of
  * the report to PATH.
  */
 
@@ -55,7 +61,8 @@ usage()
         "               [--tenants N] [--lanes M] "
         "[--sched static|rr|lag]\n"
         "               [--containment abort|skip|patch|quarantine]\n"
-        "               [--checkpoint-interval N] [--json PATH]\n");
+        "               [--checkpoint-interval N] [--json PATH]\n"
+        "               [--dispatch batched|per-record]\n");
     return 2;
 }
 
@@ -228,6 +235,7 @@ runMultiTenant(const std::vector<std::string>& benchmarks,
                const core::LifeguardFactory& factory,
                std::uint64_t instrs, unsigned tenants, unsigned lanes,
                sched::Policy policy, double transport_bw,
+               bool batched_dispatch,
                const workload::BugInjection& bugs,
                const replay::ContainmentConfig& containment,
                const std::string& json_path)
@@ -236,6 +244,7 @@ runMultiTenant(const std::vector<std::string>& benchmarks,
     config.lanes = lanes;
     config.policy = policy;
     config.lba.transport_bytes_per_cycle = transport_bw;
+    config.lba.batched_dispatch = batched_dispatch;
     config.containment = containment;
     sched::LifeguardPool pool(config, factory);
 
@@ -347,6 +356,17 @@ main(int argc, char** argv)
     std::string json_path;
     workload::BugInjection bugs;
     replay::ContainmentConfig containment;
+    bool batched_dispatch = true;
+    auto parse_dispatch = [&](const std::string& value) {
+        if (value == "batched") {
+            batched_dispatch = true;
+        } else if (value == "per-record") {
+            batched_dispatch = false;
+        } else {
+            return false;
+        }
+        return true;
+    };
     for (int i = 3; i < argc; ++i) {
         std::string arg = argv[i];
         // The containment flags also accept the `--flag=value`
@@ -367,6 +387,10 @@ main(int argc, char** argv)
             if (arg == "--checkpoint-interval") {
                 containment.checkpoint_interval =
                     std::strtoull(value.c_str(), nullptr, 10);
+                continue;
+            }
+            if (arg == "--dispatch") {
+                if (!parse_dispatch(value)) return usage();
                 continue;
             }
             return usage();
@@ -397,6 +421,8 @@ main(int argc, char** argv)
         } else if (arg == "--checkpoint-interval" && i + 1 < argc) {
             containment.checkpoint_interval =
                 std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--dispatch" && i + 1 < argc) {
+            if (!parse_dispatch(argv[++i])) return usage();
         } else if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
         } else if (arg == "--bugs" && i + 1 < argc) {
@@ -450,8 +476,8 @@ main(int argc, char** argv)
         if (benchmarks.empty()) return usage();
         return runMultiTenant(benchmarks, lifeguard_name, factory,
                               instrs, tenants, lanes, policy,
-                              transport_bw, bugs, containment,
-                              json_path);
+                              transport_bw, batched_dispatch, bugs,
+                              containment, json_path);
     }
 
     const workload::Profile* profile = workload::findProfile(benchmark);
@@ -466,6 +492,7 @@ main(int argc, char** argv)
     // The parallel platform inherits the same knob through
     // Experiment::runParallelLba (one timing engine under both).
     config.lba.transport_bytes_per_cycle = transport_bw;
+    config.lba.batched_dispatch = batched_dispatch;
     config.containment = containment;
     core::Experiment experiment(generated.program, config);
     const auto& base = experiment.unmonitored();

@@ -78,6 +78,22 @@ PipelineTimer::buildLanes(
     Producer primary;
     primary.app_core = config_.app_core;
     producers_.push_back(std::move(primary));
+
+    if (config_.execution == ExecutionMode::kThreaded) {
+        LBA_ASSERT(config_.batched_dispatch,
+                   "threaded execution requires batched dispatch (its "
+                   "flush boundaries are the cross-thread barriers)");
+        coordinator_ = std::this_thread::get_id();
+        executor_ = std::make_unique<ThreadedExecutor>(nlanes);
+        // Pin each intrinsic engine to its lane's worker up front.
+        // External-dispatch engines (pool tenants) pin lazily, at the
+        // first flush that carries them.
+        for (unsigned i = 0; i < nlanes; ++i) {
+            if (lanes_[i].dispatch) {
+                executor_->bind(lanes_[i].dispatch.get(), i);
+            }
+        }
+    }
 }
 
 unsigned
@@ -246,20 +262,28 @@ PipelineTimer::flushPending()
     std::size_t n = pending_meta_.size();
     pending_costs_.resize(n);
 
-    // Phase 1: handler execution, in arrival order — the same cache
-    // interleaving as per-record consumption — with maximal runs that
-    // share an engine drained through one consumeBatch call each (the
-    // whole queue, for single-lane systems).
-    std::size_t i = 0;
-    while (i < n) {
-        std::size_t j = i + 1;
-        while (j < n &&
-               pending_meta_[j].engine == pending_meta_[i].engine) {
-            ++j;
+    if (executor_) {
+        // Threaded phase 1: same runs, fanned out to the worker
+        // threads, costs recorded and replayed instead of charged
+        // in-line — cycle-identical by construction (see the header).
+        runPendingThreaded(n);
+    } else {
+        // Phase 1: handler execution, in arrival order — the same cache
+        // interleaving as per-record consumption — with maximal runs
+        // that share an engine drained through one consumeBatch call
+        // each (the whole queue, for single-lane systems).
+        std::size_t i = 0;
+        while (i < n) {
+            std::size_t j = i + 1;
+            while (j < n &&
+                   pending_meta_[j].engine == pending_meta_[i].engine) {
+                ++j;
+            }
+            pending_meta_[i].engine->consumeBatch(
+                pending_records_.data() + i, j - i,
+                pending_costs_.data() + i);
+            i = j;
         }
-        pending_meta_[i].engine->consumeBatch(
-            pending_records_.data() + i, j - i, pending_costs_.data() + i);
-        i = j;
     }
 
     // Phase 2: the timing recurrence, same order. Handler costs never
@@ -283,6 +307,66 @@ PipelineTimer::flushPending()
     flushing_ = false;
 }
 
+void
+PipelineTimer::runPendingThreaded(std::size_t n)
+{
+    // Partition into the same maximal same-engine runs as the serial
+    // flush (so even the `batches` stat matches), count them, and give
+    // each run its own DeferredBatch scratch slot — resized before any
+    // pointer is taken, because workers write through those pointers.
+    std::size_t nruns = 0;
+    for (std::size_t i = 0; i < n;) {
+        std::size_t j = i + 1;
+        while (j < n &&
+               pending_meta_[j].engine == pending_meta_[i].engine) {
+            ++j;
+        }
+        ++nruns;
+        i = j;
+    }
+    if (batch_scratch_.size() < nruns) batch_scratch_.resize(nruns);
+
+    // Fan out. Staging in global arrival order keeps each worker's
+    // batch list — and therefore each engine's record stream — in
+    // arrival order; runs on different workers race, which is safe
+    // because phase 1 touches only per-lifeguard state.
+    std::size_t run = 0;
+    for (std::size_t i = 0; i < n;) {
+        std::size_t j = i + 1;
+        while (j < n &&
+               pending_meta_[j].engine == pending_meta_[i].engine) {
+            ++j;
+        }
+        executor_->enqueue(pending_meta_[i].engine,
+                           pending_meta_[i].lane,
+                           pending_records_.data() + i, j - i,
+                           &batch_scratch_[run]);
+        ++run;
+        i = j;
+    }
+    executor_->dispatchRound();
+
+    // Replay: charge the recorded accesses through the shared
+    // hierarchy in global arrival order — run by run, record by
+    // record, exactly the serial interleaving — producing the same
+    // per-record costs consumeBatch() would have.
+    run = 0;
+    for (std::size_t i = 0; i < n;) {
+        std::size_t j = i + 1;
+        while (j < n &&
+               pending_meta_[j].engine == pending_meta_[i].engine) {
+            ++j;
+        }
+        lifeguard::DispatchEngine* engine = pending_meta_[i].engine;
+        for (std::size_t k = i; k < j; ++k) {
+            pending_costs_[k] = engine->replayDeferred(
+                pending_records_[k], batch_scratch_[run], k - i);
+        }
+        ++run;
+        i = j;
+    }
+}
+
 bool
 PipelineTimer::admitRecord(Producer& producer, const EventRecord& record,
                            double* record_bytes)
@@ -299,6 +383,7 @@ PipelineTimer::admitRecord(Producer& producer, const EventRecord& record,
 bool
 PipelineTimer::log(const EventRecord& record, unsigned lane)
 {
+    assertCoordinator();
     Producer& producer = producers_.front();
     double record_bytes = 0.0;
     if (!admitRecord(producer, record, &record_bytes)) return false;
@@ -332,6 +417,7 @@ bool
 PipelineTimer::log(unsigned producer_idx, const EventRecord& record,
                    const std::vector<Target>& targets)
 {
+    assertCoordinator();
     LBA_ASSERT(producer_idx < producers_.size(), "bad producer index");
     LBA_ASSERT(!targets.empty(), "record needs at least one target");
     Producer& producer = producers_[producer_idx];
@@ -373,6 +459,7 @@ PipelineTimer::log(unsigned producer_idx, const EventRecord& record,
 void
 PipelineTimer::retire(unsigned producer_idx, const sim::Retired& retired)
 {
+    assertCoordinator();
     LBA_ASSERT(producer_idx < producers_.size(), "bad producer index");
     // Flush boundary: consume everything the previous interval logged
     // before this retirement's drain check and cache accesses — the
@@ -420,6 +507,7 @@ PipelineTimer::noteSyscall(unsigned producer)
 Cycles
 PipelineTimer::drainProducer(unsigned producer_idx)
 {
+    assertCoordinator();
     LBA_ASSERT(producer_idx < producers_.size(), "bad producer index");
     flushPending();
     Producer& producer = producers_[producer_idx];
@@ -452,6 +540,7 @@ Cycles
 PipelineTimer::finishShard(unsigned producer_idx, unsigned lane_idx,
                            lifeguard::DispatchEngine& engine)
 {
+    assertCoordinator();
     LBA_ASSERT(!finished_, "finishShard() after seal()");
     LBA_ASSERT(producer_idx < producers_.size(), "bad producer index");
     LBA_ASSERT(lane_idx < lanes_.size(), "bad lane index");
@@ -473,9 +562,14 @@ PipelineTimer::finishShard(unsigned producer_idx, unsigned lane_idx,
 void
 PipelineTimer::seal()
 {
+    assertCoordinator();
     LBA_ASSERT(!finished_, "seal() called twice");
     flushPending();
     finished_ = true;
+    // No further flushes can carry work: park the worker threads. The
+    // join also closes the happens-before chain, so the end-of-run
+    // stats and findings reads below and after are race-free.
+    if (executor_) executor_->stopAndJoin();
 
     Cycles end = 0;
     std::uint64_t compressed_records = 0;

@@ -46,6 +46,23 @@
  * paths cycle-identical (tests/dispatch_batch_test.cpp) while the host
  * pays table dispatch instead of a virtual call per record.
  *
+ * Threaded execution (LbaConfig::execution = kThreaded). Handlers run
+ * on real host threads — one worker per lane (ThreadedExecutor) — and
+ * every simulated cycle count stays bit-identical to serial execution.
+ * The flush splits in two: phase 1 fans the queued per-engine runs out
+ * to the workers, which execute handlers against their lifeguards'
+ * private state while *recording* costs (instruction counts and the
+ * ordered metadata accesses) into DeferredBatch scratch instead of
+ * charging the shared cache hierarchy; phase 2, back on the
+ * coordinating thread after the round barrier, replays the recorded
+ * accesses through the hierarchy in global arrival order — the exact
+ * interleaving the serial flush charges — and folds the costs into the
+ * recurrence. Flush boundaries are therefore cross-thread barriers;
+ * between them, only workers touch lifeguard state and only the
+ * coordinator touches the timer. tests/threaded_test.cpp asserts the
+ * cycle identity across serial/shards/pool/containment configurations;
+ * docs/ARCHITECTURE.md "Threaded execution" gives the full argument.
+ *
  * Multi-tenant generalisation (src/sched/). The timer also supports
  * multiple *producers*: independent monitored applications, each with its
  * own application-core clock, log stream (compressor), back-pressure and
@@ -63,9 +80,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <thread>
 #include <vector>
 
+#include "common/assert.h"
 #include "compress/compressor.h"
+#include "core/threaded_executor.h"
 #include "lifeguard/dispatch.h"
 #include "log/log_buffer.h"
 #include "mem/hierarchy.h"
@@ -73,6 +93,20 @@
 #include "stats/counter.h"
 
 namespace lba::core {
+
+/**
+ * How the host executes lifeguard handlers. Simulated timing is
+ * identical either way (the mode changes host threads, not the model);
+ * kThreaded requires batched dispatch, whose flush boundaries are the
+ * cross-thread barriers.
+ */
+enum class ExecutionMode
+{
+    /** Everything on the calling thread (the reference). */
+    kSerial,
+    /** One host worker thread per lane (see the file comment). */
+    kThreaded,
+};
 
 /** LBA platform configuration (shared by the serial and parallel systems). */
 struct LbaConfig
@@ -120,6 +154,12 @@ struct LbaConfig
      * virtual-dispatch path (the micro_dispatch baseline).
      */
     bool batched_dispatch = true;
+    /**
+     * Host execution mode (kThreaded = one worker thread per lane,
+     * cycle-identical to kSerial; see the file comment). Threaded
+     * execution requires batched_dispatch.
+     */
+    ExecutionMode execution = ExecutionMode::kSerial;
 };
 
 /**
@@ -456,6 +496,25 @@ class PipelineTimer
      */
     void flushPending();
 
+    /**
+     * Threaded phase 1: fan the first @p n queued records out to the
+     * worker threads as per-engine runs, barrier on the round, then
+     * replay the recorded costs through the shared hierarchy in global
+     * arrival order, filling pending_costs_[0, n).
+     */
+    void runPendingThreaded(std::size_t n);
+
+    /** Threaded mode confines the timer to the thread that built it:
+     *  every mutating entry point asserts it (the mid-run-read guard
+     *  the TSan CI job backs up). No-op in serial mode. */
+    void
+    assertCoordinator() const
+    {
+        LBA_ASSERT(!executor_ ||
+                       std::this_thread::get_id() == coordinator_,
+                   "PipelineTimer used off the coordinating thread");
+    }
+
     /** flushPending() from a const accessor: catching up lazily-
      *  deferred state does not change observable results. */
     void
@@ -491,6 +550,13 @@ class PipelineTimer
     std::vector<PendingMeta> pending_meta_;
     /** Scratch: per-record handler costs of one flush. */
     std::vector<Cycles> pending_costs_;
+    /** Threaded mode only: the worker pool (null in serial mode). */
+    std::unique_ptr<ThreadedExecutor> executor_;
+    /** Scratch: one deferred-cost batch per engine run of one flush
+     *  (address-stable from enqueue to replay — resized up front). */
+    std::vector<lifeguard::DeferredBatch> batch_scratch_;
+    /** The thread the timer was built on (threaded-mode guard). */
+    std::thread::id coordinator_;
     /** Re-entrancy guard: a flush is in progress (observer callbacks
      *  may reach a syncing accessor). */
     bool flushing_ = false;

@@ -53,8 +53,51 @@ struct DispatchStats
     Cycles total_cycles = 0;
     std::array<std::uint64_t, log::kNumEventTypes> records_by_type{};
     std::array<Cycles, log::kNumEventTypes> cycles_by_type{};
-    /** consumeBatch() calls (0 on the per-record path). */
+    /** consumeBatch()/consumeBatchDeferred() calls (0 per-record). */
     std::uint64_t batches = 0;
+};
+
+/**
+ * The functional side of one dispatched batch, with the timing side
+ * deferred: per record, the handler-instruction cycles it charged and
+ * the ordered list of metadata memory accesses it performed.
+ *
+ * This is what makes threaded execution cycle-identical to serial
+ * (docs/ARCHITECTURE.md "Threaded execution"): handler *execution*
+ * (shadow-memory updates, findings — all state private to one
+ * lifeguard) runs on a worker thread and records its accesses here,
+ * while the *cost* of those accesses — which routes through the
+ * shared, order-sensitive L2 model — is computed later by
+ * replayDeferred() on the coordinating thread, in the global arrival
+ * order the serial path charged them in.
+ */
+struct DeferredBatch
+{
+    struct MemOp
+    {
+        Addr addr = 0;
+        bool is_write = false;
+    };
+
+    struct PerRecord
+    {
+        /** Cycles charged through CostSink::instrs(). */
+        std::uint32_t instr_cycles = 0;
+        /** This record's slice of `ops` ([first_op, first_op+num_ops)). */
+        std::uint32_t first_op = 0;
+        std::uint32_t num_ops = 0;
+    };
+
+    std::vector<PerRecord> records;
+    /** Metadata accesses of the whole batch, in execution order. */
+    std::vector<MemOp> ops;
+
+    void
+    clear()
+    {
+        records.clear();
+        ops.clear();
+    }
 };
 
 /**
@@ -106,6 +149,31 @@ class DispatchEngine
      */
     Cycles consumeBatch(std::span<const log::LogBuffer::Entry> entries,
                         Cycles* costs = nullptr);
+
+    /**
+     * Functional half of consumeBatch() for threaded execution: run
+     * every handler (in order) against the lifeguard's state, but
+     * capture the costs into @p out instead of charging the shared
+     * cache hierarchy. Safe to call from a worker thread that owns
+     * this engine, concurrently with other engines' workers — it
+     * touches only the lifeguard, the record counters of stats(), and
+     * @p out. Pair every call with replayDeferred() over the same
+     * batch on the coordinating thread.
+     */
+    void consumeBatchDeferred(const log::EventRecord* records,
+                              std::size_t count, DeferredBatch& out);
+
+    /**
+     * Timing half: charge record @p i of @p batch through this
+     * engine's core against the shared hierarchy — exactly the cycles
+     * consumeBatch() would have charged for it — and fold them into
+     * the cycle counters of stats(). Coordinating thread only; calls
+     * must follow global record arrival order across engines so the
+     * shared-L2 interleaving matches the serial path.
+     * @return Cycles the lifeguard core spends on this record.
+     */
+    Cycles replayDeferred(const log::EventRecord& record,
+                          const DeferredBatch& batch, std::size_t i);
 
     /**
      * Run the lifeguard's end-of-program hook.

@@ -1,6 +1,7 @@
 /**
  * @file
- * Log buffer implementation.
+ * Log buffer implementation (lock-free SPSC ring; see the header for
+ * the memory-order argument).
  */
 
 #include "log/log_buffer.h"
@@ -17,22 +18,37 @@ LogBuffer::LogBuffer(std::size_t capacity)
     LBA_ASSERT(capacity > 0, "log buffer capacity must be positive");
 }
 
+LogBuffer::LogBuffer(LogBuffer&& other) noexcept
+    : capacity_(other.capacity_),
+      ring_(std::move(other.ring_)),
+      head_(other.head_.load(std::memory_order_relaxed)),
+      tail_(other.tail_.load(std::memory_order_relaxed)),
+      head_idx_(other.head_idx_),
+      tail_idx_(other.tail_idx_),
+      stats_(other.stats_)
+{
+}
+
 bool
 LogBuffer::push(const EventRecord& record, Cycles produced_at)
 {
-    if (full()) {
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    // Acquire pairs with the consumer's release in popN(): the slot we
+    // are about to overwrite has been fully read before it was freed.
+    std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= capacity_) {
         ++stats_.full_events;
         return false;
     }
-    // Wrap by compare-and-subtract: head_ + size_ < 2 * capacity_
-    // always, and a branch beats an integer division in this hot loop.
-    std::size_t slot = head_ + size_;
-    if (slot >= capacity_) slot -= capacity_;
-    ring_[slot] = {record, produced_at};
-    ++size_;
+    ring_[tail_idx_] = {record, produced_at};
+    if (++tail_idx_ >= capacity_) tail_idx_ = 0;
+    // Release: the entry write above becomes visible before the new
+    // tail does, so the consumer never reads a half-written entry.
+    tail_.store(tail + 1, std::memory_order_release);
     ++stats_.pushes;
-    if (size_ > stats_.max_occupancy) {
-        stats_.max_occupancy = size_;
+    std::uint64_t occupancy = tail + 1 - head;
+    if (occupancy > stats_.max_occupancy) {
+        stats_.max_occupancy = occupancy;
     }
     return true;
 }
@@ -40,11 +56,12 @@ LogBuffer::push(const EventRecord& record, Cycles produced_at)
 bool
 LogBuffer::pop(Entry* out)
 {
-    if (size_ == 0) {
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == head) {
         ++stats_.empty_events;
         return false;
     }
-    if (out) *out = ring_[head_];
+    if (out) *out = ring_[head_idx_];
     popN(1);
     return true;
 }
@@ -52,23 +69,34 @@ LogBuffer::pop(Entry* out)
 const LogBuffer::Entry*
 LogBuffer::front() const
 {
-    return size_ == 0 ? nullptr : &ring_[head_];
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == head) return nullptr;
+    return &ring_[head_idx_];
 }
 
 std::span<const LogBuffer::Entry>
 LogBuffer::frontSpan(std::size_t max) const
 {
-    std::size_t n = std::min({max, size_, capacity_ - head_});
-    return {ring_.data() + head_, n};
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    // Acquire pairs with the producer's release in push(): every entry
+    // at a position below the tail we read is fully written.
+    std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    std::size_t n = std::min({max, static_cast<std::size_t>(tail - head),
+                              capacity_ - head_idx_});
+    return {ring_.data() + head_idx_, n};
 }
 
 void
 LogBuffer::popN(std::size_t n)
 {
-    LBA_ASSERT(n <= size_, "popN() past the end of the buffer");
-    head_ += n;
-    if (head_ >= capacity_) head_ -= capacity_;
-    size_ -= n;
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    LBA_ASSERT(n <= tail_.load(std::memory_order_acquire) - head,
+               "popN() past the end of the buffer");
+    head_idx_ += n;
+    if (head_idx_ >= capacity_) head_idx_ -= capacity_;
+    // Release: our reads of the popped entries complete before the
+    // producer sees the slots as free for reuse.
+    head_.store(head + n, std::memory_order_release);
     stats_.pops += n;
 }
 

@@ -19,10 +19,30 @@
  * bench (bench/micro_dispatch.cc) drain through. The one-at-a-time
  * push/pop API is unchanged and interoperates with the batch API.
  *
+ * Concurrency: the ring is a lock-free single-producer/single-consumer
+ * queue, the host-side analogue of the paper's asynchronous log
+ * transport. One thread owns the producer end (push), one thread owns
+ * the consumer end (pop/front/frontSpan/popN); the two may run
+ * concurrently. Synchronization is two monotonic position counters:
+ *
+ *  - The producer writes the slot, then advances `tail_` with a release
+ *    store; the consumer's acquire load of `tail_` therefore observes a
+ *    fully-written entry before it observes the entry's availability.
+ *  - The consumer reads the slot, then advances `head_` with a release
+ *    store; the producer's acquire load of `head_` therefore observes
+ *    the read as complete before it reuses the slot.
+ *
+ * Each side reads its own counter relaxed (it is the only writer).
+ * Single-threaded use degenerates to plain loads/stores on one thread
+ * and stays exact. docs/ARCHITECTURE.md ("Threaded execution") gives
+ * the full memory-order argument; tests/log_test.cpp stress-tests the
+ * cross-thread ring under ThreadSanitizer.
+ *
  * The produce/start/finish recurrence that consumes this buffer is
  * documented in core/lba_system.h and docs/ARCHITECTURE.md.
  */
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -32,7 +52,14 @@
 
 namespace lba::log {
 
-/** Occupancy and stall accounting for the buffer. */
+/**
+ * Occupancy and stall accounting for the buffer. Producer-side fields
+ * (pushes, full_events, max_occupancy) are written only by the pushing
+ * thread; consumer-side fields (pops, empty_events) only by the popping
+ * thread — so concurrent operation never races on a field. Read the
+ * whole struct only while the ring is quiescent (no concurrent
+ * producer/consumer), e.g. after a run.
+ */
 struct LogBufferStats
 {
     std::uint64_t pushes = 0;
@@ -60,52 +87,96 @@ class LogBuffer
     /** @param capacity Maximum number of in-flight records. */
     explicit LogBuffer(std::size_t capacity);
 
-    /** True when no further records fit. */
-    bool full() const { return size_ >= capacity_; }
+    /**
+     * Moving is a setup-time convenience (building lane arrays); it is
+     * NOT thread-safe and must happen before any concurrent use.
+     */
+    LogBuffer(LogBuffer&& other) noexcept;
+    LogBuffer& operator=(LogBuffer&&) = delete;
 
-    /** True when no records are queued. */
-    bool empty() const { return size_ == 0; }
+    /** True when no further records fit (producer-accurate; a
+     *  concurrent consumer can only make this stale towards "room"). */
+    bool
+    full() const
+    {
+        return tail_.load(std::memory_order_relaxed) -
+                   head_.load(std::memory_order_acquire) >=
+               capacity_;
+    }
 
-    std::size_t size() const { return size_; }
+    /** True when no records are queued (consumer-accurate; a
+     *  concurrent producer can only make this stale towards "data"). */
+    bool
+    empty() const
+    {
+        return tail_.load(std::memory_order_acquire) ==
+               head_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t
+    size() const
+    {
+        return static_cast<std::size_t>(
+            tail_.load(std::memory_order_acquire) -
+            head_.load(std::memory_order_acquire));
+    }
+
     std::size_t capacity() const { return capacity_; }
 
     /**
-     * Append a record produced at @p produced_at.
+     * Append a record produced at @p produced_at. Producer side.
      * @return False (and counts a full event) when the buffer is full.
      */
     bool push(const EventRecord& record, Cycles produced_at);
 
     /**
-     * Remove the oldest record.
+     * Remove the oldest record. Consumer side.
      * @return False (and counts an empty event) when the buffer is empty.
      */
     bool pop(Entry* out);
 
-    /** Peek at the oldest record without removing it. */
+    /** Peek at the oldest record without removing it. Consumer side. */
     const Entry* front() const;
 
     /**
      * Contiguous view of up to @p max of the oldest queued entries,
      * without removing them. The span may be shorter than both @p max
      * and size() when the ring wraps; call again after popN() to see
-     * the remainder. Invalidated by any push/pop.
+     * the remainder. Invalidated by popping past it. Consumer side —
+     * the entries stay valid under a concurrent producer because the
+     * producer never reuses a slot before the consumer releases it
+     * through popN()/pop().
      */
     std::span<const Entry> frontSpan(std::size_t max) const;
 
     /**
      * Remove the @p n oldest records in one step (counted as @p n
-     * pops). @p n must not exceed size().
+     * pops). @p n must not exceed size(). Consumer side.
      */
     void popN(std::size_t n);
 
+    /** See LogBufferStats for the cross-thread read rules. */
     const LogBufferStats& stats() const { return stats_; }
 
   private:
     std::size_t capacity_;
-    /** Ring storage: entries live at (head_ + i) % capacity_. */
+    /** Ring storage: the entry for position p lives at p % capacity_
+     *  (maintained incrementally — see head_idx_/tail_idx_). */
     std::vector<Entry> ring_;
-    std::size_t head_ = 0;
-    std::size_t size_ = 0;
+    /** Position of the next pop: monotonic, wraps modulo 2^64.
+     *  Written by the consumer (release), read by the producer
+     *  (acquire) to learn which slots are free again. */
+    std::atomic<std::uint64_t> head_{0};
+    /** Position of the next push: monotonic. Written by the producer
+     *  (release), read by the consumer (acquire) to learn which
+     *  entries are visible. */
+    std::atomic<std::uint64_t> tail_{0};
+    /** head_ % capacity_, maintained by the consumer with a
+     *  compare-and-subtract (a branch beats an integer division in
+     *  this hot loop). */
+    std::size_t head_idx_ = 0;
+    /** tail_ % capacity_, maintained by the producer likewise. */
+    std::size_t tail_idx_ = 0;
     LogBufferStats stats_;
 };
 

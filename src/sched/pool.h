@@ -71,7 +71,13 @@ enum class AdmissionMode
 struct PoolConfig
 {
     /** Platform knobs shared by every lane/tenant (buffer size,
-     *  transport bandwidth, compression, containment, filtering). */
+     *  transport bandwidth, compression, containment, filtering).
+     *  `lba.execution = kThreaded` runs the pool's lanes on one host
+     *  worker thread each: tenant shard engines pin to the worker of
+     *  the lane they first deliver on, and the scheduler itself stays
+     *  on the coordinating thread, so every slice decision — and every
+     *  simulated cycle — is identical to serial execution
+     *  (tests/threaded_test.cpp asserts the pool differential). */
     core::LbaConfig lba;
     /** Optional per-lane overrides (empty = uniform lanes). */
     std::vector<core::LaneLimits> lane_limits;

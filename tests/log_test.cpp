@@ -1,15 +1,24 @@
 /**
  * @file
- * Tests for event records, the capture unit, and the log buffer.
+ * Tests for event records, the capture unit, and the log buffer —
+ * including the cross-thread SPSC torture tests backing the lock-free
+ * ring (run under ThreadSanitizer in CI) and the threaded-execution
+ * determinism property.
  */
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "asm/assembler.h"
+#include "core/runner.h"
+#include "lifeguards/addrcheck.h"
 #include "log/capture.h"
 #include "log/event.h"
 #include "log/log_buffer.h"
 #include "sim/process.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
 
 namespace lba::log {
 namespace {
@@ -307,6 +316,152 @@ TEST(LogBuffer, BatchDrainPreservesStream)
     ASSERT_EQ(out.size(), pushed);
     for (std::size_t i = 0; i < out.size(); ++i) {
         EXPECT_EQ(out[i], i);
+    }
+}
+
+/**
+ * SPSC torture: a real producer thread races a real consumer over a
+ * small ring for millions of records, the consumer mixing pop(),
+ * frontSpan()/popN() and randomized batch sizes. The sequence check
+ * (addr == arrival index) proves no record is lost, duplicated,
+ * reordered or torn; the TSan CI job backs the memory-order argument
+ * in log_buffer.h.
+ */
+TEST(LogBufferSpsc, CrossThreadTorturePreservesStream)
+{
+    constexpr std::uint64_t kRecords = 2'000'000;
+    LogBuffer buf(1024);
+
+    std::thread producer([&buf] {
+        for (std::uint64_t i = 0; i < kRecords; ++i) {
+            EventRecord rec;
+            rec.addr = static_cast<Addr>(i);
+            while (!buf.push(rec, static_cast<Cycles>(i))) {
+                std::this_thread::yield();
+            }
+        }
+    });
+
+    std::uint64_t state = 42;
+    std::uint64_t next = 0;
+    std::uint64_t mismatches = 0;
+    while (next < kRecords) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        if (state & 1) {
+            auto span = buf.frontSpan(1 + (state % 64));
+            if (span.empty()) {
+                std::this_thread::yield();
+                continue;
+            }
+            for (const auto& entry : span) {
+                if (entry.record.addr != next ||
+                    entry.produced_at != next) {
+                    ++mismatches;
+                }
+                ++next;
+            }
+            buf.popN(span.size());
+        } else {
+            LogBuffer::Entry entry;
+            if (!buf.pop(&entry)) {
+                std::this_thread::yield();
+                continue;
+            }
+            if (entry.record.addr != next) ++mismatches;
+            ++next;
+        }
+    }
+    producer.join();
+
+    EXPECT_EQ(mismatches, 0u);
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(buf.stats().pushes, kRecords);
+    EXPECT_EQ(buf.stats().pops, kRecords);
+}
+
+/** Same race on a capacity-3 ring: every few records cross the wrap
+ *  boundary, so the cached index arithmetic is exercised constantly
+ *  and producer and consumer are almost always a slot apart. */
+TEST(LogBufferSpsc, TinyCapacityWrapStress)
+{
+    constexpr std::uint64_t kRecords = 200'000;
+    LogBuffer buf(3);
+
+    std::thread producer([&buf] {
+        for (std::uint64_t i = 0; i < kRecords; ++i) {
+            EventRecord rec;
+            rec.addr = static_cast<Addr>(i);
+            while (!buf.push(rec, static_cast<Cycles>(i))) {
+                std::this_thread::yield();
+            }
+        }
+    });
+
+    std::uint64_t next = 0;
+    std::uint64_t mismatches = 0;
+    while (next < kRecords) {
+        auto span = buf.frontSpan(2);
+        if (span.empty()) {
+            std::this_thread::yield();
+            continue;
+        }
+        for (const auto& entry : span) {
+            if (entry.record.addr != next) ++mismatches;
+            ++next;
+        }
+        buf.popN(span.size());
+    }
+    producer.join();
+
+    EXPECT_EQ(mismatches, 0u);
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(buf.stats().pops, kRecords);
+}
+
+/**
+ * Determinism property: threaded execution must not let host thread
+ * scheduling leak into results — the same program gives bit-identical
+ * stats and findings on every one of 50 runs. (Each run spawns fresh
+ * worker threads, so 50 runs sample 50 host schedules.)
+ */
+TEST(ThreadedDeterminism, FiftyRunsBitIdentical)
+{
+    workload::BugInjection bugs;
+    bugs.use_after_free = true;
+    auto gen = workload::generate(*workload::findProfile("bc"), bugs,
+                                  5000);
+    core::LbaConfig lba;
+    lba.execution = core::ExecutionMode::kThreaded;
+    auto factory = [] {
+        return std::make_unique<lifeguards::AddrCheck>();
+    };
+    core::Experiment exp(gen.program);
+    core::PlatformResult first = exp.runLba(factory, lba);
+    EXPECT_GT(first.findings.size(), 0u);
+
+    for (int run = 1; run < 50; ++run) {
+        SCOPED_TRACE(run);
+        core::PlatformResult result = exp.runLba(factory, lba);
+        EXPECT_EQ(result.cycles, first.cycles);
+        EXPECT_EQ(result.lba.total_cycles, first.lba.total_cycles);
+        EXPECT_EQ(result.lba.app_cycles, first.lba.app_cycles);
+        EXPECT_EQ(result.lba.records_logged, first.lba.records_logged);
+        EXPECT_EQ(result.lba.lifeguard_busy_cycles,
+                  first.lba.lifeguard_busy_cycles);
+        EXPECT_EQ(result.lba.backpressure_stall_cycles,
+                  first.lba.backpressure_stall_cycles);
+        EXPECT_EQ(result.lba.syscall_stall_cycles,
+                  first.lba.syscall_stall_cycles);
+        EXPECT_EQ(result.lba.mean_consume_lag,
+                  first.lba.mean_consume_lag);
+        ASSERT_EQ(result.findings.size(), first.findings.size());
+        for (std::size_t i = 0; i < first.findings.size(); ++i) {
+            EXPECT_EQ(result.findings[i].kind, first.findings[i].kind);
+            EXPECT_EQ(result.findings[i].pc, first.findings[i].pc);
+            EXPECT_EQ(result.findings[i].addr, first.findings[i].addr);
+        }
     }
 }
 

@@ -12,6 +12,7 @@
  *           [--containment abort|skip|patch|quarantine]
  *           [--checkpoint-interval N] [--json PATH]
  *           [--dispatch batched|per-record]
+ *           [--execution serial|threaded]
  *
  * With --tenants N the benchmark argument may be a comma-separated
  * list of profiles; the N tenants cycle through it and share an M-lane
@@ -22,8 +23,11 @@
  * dispatch implementation: `batched` (the default) drains records in
  * batches through the per-event-type handler tables, `per-record` is
  * the retained virtual-dispatch baseline; the two are cycle-identical
- * by construction (docs/ARCHITECTURE.md). --json writes a
- * machine-readable copy of
+ * by construction (docs/ARCHITECTURE.md). --execution selects the host
+ * execution mode: `threaded` runs lifeguard handlers on one worker
+ * thread per lane while every simulated cycle count stays bit-identical
+ * to `serial` (docs/ARCHITECTURE.md "Threaded execution"); it requires
+ * batched dispatch. --json writes a machine-readable copy of
  * the report to PATH.
  */
 
@@ -62,7 +66,8 @@ usage()
         "[--sched static|rr|lag]\n"
         "               [--containment abort|skip|patch|quarantine]\n"
         "               [--checkpoint-interval N] [--json PATH]\n"
-        "               [--dispatch batched|per-record]\n");
+        "               [--dispatch batched|per-record]\n"
+        "               [--execution serial|threaded]\n");
     return 2;
 }
 
@@ -235,7 +240,7 @@ runMultiTenant(const std::vector<std::string>& benchmarks,
                const core::LifeguardFactory& factory,
                std::uint64_t instrs, unsigned tenants, unsigned lanes,
                sched::Policy policy, double transport_bw,
-               bool batched_dispatch,
+               bool batched_dispatch, core::ExecutionMode execution,
                const workload::BugInjection& bugs,
                const replay::ContainmentConfig& containment,
                const std::string& json_path)
@@ -245,6 +250,7 @@ runMultiTenant(const std::vector<std::string>& benchmarks,
     config.policy = policy;
     config.lba.transport_bytes_per_cycle = transport_bw;
     config.lba.batched_dispatch = batched_dispatch;
+    config.lba.execution = execution;
     config.containment = containment;
     sched::LifeguardPool pool(config, factory);
 
@@ -367,6 +373,17 @@ main(int argc, char** argv)
         }
         return true;
     };
+    core::ExecutionMode execution = core::ExecutionMode::kSerial;
+    auto parse_execution = [&](const std::string& value) {
+        if (value == "serial") {
+            execution = core::ExecutionMode::kSerial;
+        } else if (value == "threaded") {
+            execution = core::ExecutionMode::kThreaded;
+        } else {
+            return false;
+        }
+        return true;
+    };
     for (int i = 3; i < argc; ++i) {
         std::string arg = argv[i];
         // The containment flags also accept the `--flag=value`
@@ -391,6 +408,10 @@ main(int argc, char** argv)
             }
             if (arg == "--dispatch") {
                 if (!parse_dispatch(value)) return usage();
+                continue;
+            }
+            if (arg == "--execution") {
+                if (!parse_execution(value)) return usage();
                 continue;
             }
             return usage();
@@ -423,6 +444,8 @@ main(int argc, char** argv)
                 std::strtoull(argv[++i], nullptr, 10);
         } else if (arg == "--dispatch" && i + 1 < argc) {
             if (!parse_dispatch(argv[++i])) return usage();
+        } else if (arg == "--execution" && i + 1 < argc) {
+            if (!parse_execution(argv[++i])) return usage();
         } else if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
         } else if (arg == "--bugs" && i + 1 < argc) {
@@ -437,6 +460,14 @@ main(int argc, char** argv)
         } else {
             return usage();
         }
+    }
+    if (execution == core::ExecutionMode::kThreaded &&
+        !batched_dispatch) {
+        // Threaded execution's cross-thread barriers are the batched
+        // flush boundaries; the per-record path has none.
+        std::fprintf(stderr, "--execution threaded requires "
+                             "--dispatch batched\n");
+        return usage();
     }
     if (containment.checkpoint_interval > 0 && !containment.enabled) {
         std::fprintf(stderr, "--checkpoint-interval requires "
@@ -476,8 +507,8 @@ main(int argc, char** argv)
         if (benchmarks.empty()) return usage();
         return runMultiTenant(benchmarks, lifeguard_name, factory,
                               instrs, tenants, lanes, policy,
-                              transport_bw, batched_dispatch, bugs,
-                              containment, json_path);
+                              transport_bw, batched_dispatch, execution,
+                              bugs, containment, json_path);
     }
 
     const workload::Profile* profile = workload::findProfile(benchmark);
@@ -493,6 +524,7 @@ main(int argc, char** argv)
     // Experiment::runParallelLba (one timing engine under both).
     config.lba.transport_bytes_per_cycle = transport_bw;
     config.lba.batched_dispatch = batched_dispatch;
+    config.lba.execution = execution;
     config.containment = containment;
     core::Experiment experiment(generated.program, config);
     const auto& base = experiment.unmonitored();

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# The static concurrency-analysis gate, runnable locally and in CI
+# (the static-analysis job). Three layers, strongest first:
+#
+#   1. clang build of src/ with Thread Safety Analysis as errors
+#      (-Wthread-safety -Wthread-safety-beta; see
+#      common/thread_annotations.h). Configuring with clang also runs
+#      the negative-compile harness (tests/static_analysis/), which
+#      FATAL_ERRORs if the gate stopped rejecting any violation class.
+#   2. tools/lba_lint.py over the compilation database: explicit
+#      memory_order on every atomic op, no raw std::thread outside the
+#      executor, annotation/assert parity for PipelineTimer.
+#   3. clang-tidy (curated .clang-tidy; concurrency-* as errors) over
+#      every src/ translation unit — skipped with a notice when
+#      clang-tidy is not installed, hard-required in CI.
+#
+# Usage: scripts/run_static_analysis.sh [build-dir]
+#   CXX_CLANG=clang++-18  override the clang to use
+#   LBA_REQUIRE_TIDY=1    fail (rather than skip) without clang-tidy
+#
+# All three layers are gates: any failure fails the script.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-"$repo/build-static-analysis"}"
+clangxx="${CXX_CLANG:-clang++}"
+
+if ! command -v "$clangxx" >/dev/null 2>&1; then
+    echo "error: $clangxx not found; install clang or set CXX_CLANG" >&2
+    exit 1
+fi
+
+echo "== [1/3] clang TSA build of src/ ($clangxx) =="
+cmake -B "$build" -S "$repo" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_COMPILER="$clangxx" \
+    -DLBA_BUILD_BENCH=OFF -DLBA_BUILD_EXAMPLES=OFF \
+    -DLBA_FETCH_BENCHMARK=OFF
+cmake --build "$build" -j --target lba
+
+echo "== [2/3] tools/lba_lint.py =="
+python3 "$repo/tools/lba_lint.py" -p "$build" --repo "$repo"
+
+echo "== [3/3] clang-tidy =="
+tidy=""
+for candidate in "${CLANG_TIDY:-}" clang-tidy; do
+    if [ -n "$candidate" ] && command -v "$candidate" >/dev/null 2>&1; then
+        tidy="$candidate"
+        break
+    fi
+done
+if [ -z "$tidy" ]; then
+    if [ "${LBA_REQUIRE_TIDY:-0}" = "1" ]; then
+        echo "error: clang-tidy not found (LBA_REQUIRE_TIDY=1)" >&2
+        exit 1
+    fi
+    echo "clang-tidy not found; skipping layer 3 (CI runs it)"
+    exit 0
+fi
+# Only src/ TUs: the gate is about the runtime, and the database also
+# contains test/bench entries when configured with defaults.
+mapfile -t tus < <(python3 - "$build/compile_commands.json" <<'EOF'
+import json, sys
+for entry in json.load(open(sys.argv[1])):
+    if "/src/" in entry["file"]:
+        print(entry["file"])
+EOF
+)
+"$tidy" -p "$build" --quiet "${tus[@]}"
+
+echo "static analysis: all gates passed"

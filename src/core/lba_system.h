@@ -51,26 +51,38 @@ class LbaSystem : public sim::RetireObserver
     LbaSystem(lifeguard::Lifeguard& lifeguard,
               mem::CacheHierarchy& hierarchy, const LbaConfig& config = {});
 
-    void onRetire(const sim::Retired& retired) override;
-    void onOsEvent(const sim::OsEvent& event) override;
+    // The retire stream must stay on the thread that built the system
+    // (the coordinator); the timer underneath asserts it at runtime,
+    // these annotations say it statically. The sim::RetireObserver
+    // base is role-agnostic, so base-pointer dispatch is vouched for
+    // by the run() drivers, which assume the role once up front.
+    void onRetire(const sim::Retired& retired) override
+        LBA_COORDINATOR_ONLY;
+    void onOsEvent(const sim::OsEvent& event) override
+        LBA_COORDINATOR_ONLY;
 
     /**
      * Complete the run: drain the pipeline and run the lifeguard's
      * end-of-program hook. Must be called exactly once, after run().
      */
-    void finish();
+    void finish() LBA_COORDINATOR_ONLY;
 
     /** Statistics (valid after finish()). */
-    const LbaRunStats& stats() const { return timer_.stats(); }
+    const LbaRunStats&
+    stats() const LBA_COORDINATOR_ONLY
+    {
+        return timer_.stats();
+    }
 
-    /** Log-buffer occupancy statistics. */
-    const log::LogBufferStats& bufferStats() const
+    /** Log-buffer occupancy statistics (quiescent-read snapshot). */
+    log::LogBufferStats bufferStats() const
     {
         return timer_.bufferStats(0);
     }
 
-    /** Per-event-type dispatch statistics. */
-    const lifeguard::DispatchStats& dispatchStats() const
+    /** Per-event-type dispatch statistics (quiescent-read snapshot). */
+    lifeguard::DispatchStats
+    dispatchStats() const LBA_COORDINATOR_ONLY
     {
         return timer_.dispatchStats(0);
     }
@@ -80,7 +92,11 @@ class LbaSystem : public sim::RetireObserver
         return timer_.compressor();
     }
 
-    lifeguard::Lifeguard& lifeguard() { return timer_.lifeguard(0); }
+    lifeguard::Lifeguard&
+    lifeguard() LBA_COORDINATOR_ONLY
+    {
+        return timer_.lifeguard(0);
+    }
 
     /** The underlying timing engine (containment integration). */
     PipelineTimer& timer() { return timer_; }

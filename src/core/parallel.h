@@ -106,16 +106,20 @@ class ParallelLbaSystem : public sim::RetireObserver
                       mem::CacheHierarchy& hierarchy,
                       const ParallelLbaConfig& config);
 
-    void onRetire(const sim::Retired& retired) override;
-    void onOsEvent(const sim::OsEvent& event) override;
+    // Coordinator-confined like the serial system (see LbaSystem).
+    void onRetire(const sim::Retired& retired) override
+        LBA_COORDINATOR_ONLY;
+    void onOsEvent(const sim::OsEvent& event) override
+        LBA_COORDINATOR_ONLY;
 
     /** Drain and finalize; must be called once after the run. */
-    void finish();
+    void finish() LBA_COORDINATOR_ONLY;
 
     const ParallelLbaStats& stats() const { return stats_; }
 
     /** Findings across all shards (detection order within a shard). */
-    std::vector<lifeguard::Finding> allFindings() const;
+    std::vector<lifeguard::Finding> allFindings() const
+        LBA_COORDINATOR_ONLY;
 
     unsigned shards() const { return timer_->lanes(); }
 
@@ -125,14 +129,15 @@ class ParallelLbaSystem : public sim::RetireObserver
     /** The shard lifeguard instances (containment watch list). */
     std::vector<const lifeguard::Lifeguard*> shardLifeguards() const;
 
-    /** One shard's log-buffer occupancy statistics. */
-    const log::LogBufferStats& bufferStats(unsigned shard) const
+    /** One shard's log-buffer occupancy statistics (snapshot). */
+    log::LogBufferStats bufferStats(unsigned shard) const
     {
         return timer_->bufferStats(shard);
     }
 
-    /** One shard's per-event-type dispatch statistics. */
-    const lifeguard::DispatchStats& dispatchStats(unsigned shard) const
+    /** One shard's per-event-type dispatch statistics (snapshot). */
+    lifeguard::DispatchStats
+    dispatchStats(unsigned shard) const LBA_COORDINATOR_ONLY
     {
         return timer_->dispatchStats(shard);
     }

@@ -21,6 +21,9 @@ PipelineTimer::PipelineTimer(
     const std::vector<LaneLimits>& lane_limits)
     : hierarchy_(hierarchy), config_(config)
 {
+    // The constructing thread is the coordinator by definition (the
+    // runtime twin is coordinator_, recorded in buildLanes).
+    threading::assumeCoordinatorRole();
     LBA_ASSERT(!lifeguards.empty(), "timer needs at least one lane");
     buildLanes(static_cast<unsigned>(lifeguards.size()), lifeguards,
                lane_limits);
@@ -31,6 +34,7 @@ PipelineTimer::PipelineTimer(mem::CacheHierarchy& hierarchy,
                              const std::vector<LaneLimits>& lane_limits)
     : hierarchy_(hierarchy), config_(config)
 {
+    threading::assumeCoordinatorRole();
     LBA_ASSERT(nlanes >= 1, "timer needs at least one lane");
     buildLanes(nlanes, {}, lane_limits);
 }
@@ -99,6 +103,7 @@ PipelineTimer::buildLanes(
 unsigned
 PipelineTimer::addProducer(unsigned app_core)
 {
+    assertCoordinator();
     LBA_ASSERT(!finished_, "cannot add a producer after seal()");
     LBA_ASSERT(app_core < hierarchy_.config().num_cores,
                "producer core outside the hierarchy");
@@ -168,7 +173,10 @@ PipelineTimer::reserveSlots(Producer& producer, Lane& lane,
         }
         ++freed;
     }
-    // The functional buffer mirrors the slot accounting.
+    // The functional buffer mirrors the slot accounting. The
+    // coordinator owns the consumer side of every lane ring (workers
+    // receive record spans, never the ring).
+    lane.buffer.assumeConsumer();
     lane.buffer.popN(freed);
 }
 
@@ -178,6 +186,9 @@ PipelineTimer::consumeOn(Producer& producer, Lane& lane,
                          const EventRecord& record, Cycles produced_at,
                          double record_bytes)
 {
+    // The coordinator owns the producer side of every lane ring too:
+    // records enter on the logging thread.
+    lane.buffer.assumeProducer();
     bool pushed = lane.buffer.push(record, produced_at);
     LBA_ASSERT(pushed, "buffer full after slot accounting");
 
@@ -195,6 +206,10 @@ PipelineTimer::consumeOn(Producer& producer, Lane& lane,
         return;
     }
 
+    // Per-record path: serial by construction (threaded execution
+    // requires batched dispatch), so the calling thread owns the
+    // engine's functional side as well as the coordinator role.
+    engine.assumeFunctionalOwner();
     Cycles cost = engine.consume(record);
     applyRecordTiming(producer, lane, record, produced_at, record_bytes,
                       cost);
@@ -257,6 +272,7 @@ PipelineTimer::flushPending()
     // a syncing accessor (stats(), sync(), ...); re-entering the flush
     // would re-run every queued handler. The guard makes re-entry a
     // no-op, like a stats read mid-consume on the per-record path.
+    assertCoordinator();
     if (pending_meta_.empty() || flushing_) return;
     flushing_ = true;
     std::size_t n = pending_meta_.size();
@@ -279,6 +295,9 @@ PipelineTimer::flushPending()
                    pending_meta_[j].engine == pending_meta_[i].engine) {
                 ++j;
             }
+            // Serial flush: the coordinator runs the handlers itself,
+            // so it owns each engine's functional side for the drain.
+            pending_meta_[i].engine->assumeFunctionalOwner();
             pending_meta_[i].engine->consumeBatch(
                 pending_records_.data() + i, j - i,
                 pending_costs_.data() + i);
@@ -500,6 +519,7 @@ PipelineTimer::retire(unsigned producer_idx, const sim::Retired& retired)
 void
 PipelineTimer::noteSyscall(unsigned producer)
 {
+    assertCoordinator();
     LBA_ASSERT(producer < producers_.size(), "bad producer index");
     if (config_.syscall_stall) producers_[producer].pending_drain = true;
 }
@@ -522,6 +542,7 @@ PipelineTimer::drainProducer(unsigned producer_idx)
 void
 PipelineTimer::chargeContainment(unsigned producer_idx, Cycles cycles)
 {
+    assertCoordinator();
     LBA_ASSERT(producer_idx < producers_.size(), "bad producer index");
     Producer& producer = producers_[producer_idx];
     producer.app_time += cycles;
@@ -601,6 +622,7 @@ PipelineTimer::seal()
 void
 PipelineTimer::finishAll()
 {
+    assertCoordinator();
     for (unsigned i = 0; i < lanes(); ++i) {
         LBA_ASSERT(lanes_[i].dispatch,
                    "finishAll() needs intrinsic dispatch engines");
@@ -624,14 +646,14 @@ PipelineTimer::producerTime(unsigned producer) const
     return producers_[producer].app_time;
 }
 
-const log::LogBufferStats&
+log::LogBufferStats
 PipelineTimer::bufferStats(unsigned lane) const
 {
     LBA_ASSERT(lane < lanes_.size(), "bad lane index");
     return lanes_[lane].buffer.stats();
 }
 
-const lifeguard::DispatchStats&
+lifeguard::DispatchStats
 PipelineTimer::dispatchStats(unsigned lane) const
 {
     syncConst();

@@ -265,15 +265,20 @@ class PipelineTimer
      * always exists, on config.app_core.
      * @return The new producer's index.
      */
-    unsigned addProducer(unsigned app_core);
+    unsigned addProducer(unsigned app_core) LBA_COORDINATOR_ONLY;
 
     /**
      * Account one retirement on @p producer's application core: apply
      * any pending syscall-containment drain, then charge fetch/memory
      * cost.
      */
-    void retire(unsigned producer, const sim::Retired& retired);
-    void retire(const sim::Retired& retired) { retire(0, retired); }
+    void retire(unsigned producer, const sim::Retired& retired)
+        LBA_COORDINATOR_ONLY;
+    void
+    retire(const sim::Retired& retired) LBA_COORDINATOR_ONLY
+    {
+        retire(0, retired);
+    }
 
     /**
      * Deliver one record to @p lane (or every lane with kBroadcast):
@@ -281,7 +286,8 @@ class PipelineTimer
      * dispatch timing. Intrinsic-dispatch mode only.
      * @return False when the filter dropped the record.
      */
-    bool log(const log::EventRecord& record, unsigned lane);
+    bool log(const log::EventRecord& record, unsigned lane)
+        LBA_COORDINATOR_ONLY;
 
     /**
      * Deliver one record of @p producer to each target in order
@@ -292,14 +298,14 @@ class PipelineTimer
      * @return False when the filter dropped the record.
      */
     bool log(unsigned producer, const log::EventRecord& record,
-             const std::vector<Target>& targets);
+             const std::vector<Target>& targets) LBA_COORDINATOR_ONLY;
 
     /**
      * Arm the containment drain: @p producer stalls at its next
      * retirement until every record it has logged so far has been
      * consumed. No-op unless config.syscall_stall.
      */
-    void noteSyscall(unsigned producer = 0);
+    void noteSyscall(unsigned producer = 0) LBA_COORDINATOR_ONLY;
 
     /**
      * Immediately stall @p producer until every record it has logged so
@@ -309,13 +315,14 @@ class PipelineTimer
      * stall lands on the producer's clock as containment cycles.
      * @return The stall applied (0 when the lanes were already ahead).
      */
-    Cycles drainProducer(unsigned producer);
+    Cycles drainProducer(unsigned producer) LBA_COORDINATOR_ONLY;
 
     /**
      * Charge @p cycles of containment work (undo-log replay, pipeline
      * flush on rewind) to @p producer's application clock.
      */
-    void chargeContainment(unsigned producer, Cycles cycles);
+    void chargeContainment(unsigned producer, Cycles cycles)
+        LBA_COORDINATOR_ONLY;
 
     /**
      * Drain the deferred batched-dispatch queue now (no-op on the
@@ -324,7 +331,12 @@ class PipelineTimer
      * e.g. the containment manager before checking findings, and the
      * pool at slice boundaries so scheduling sees up-to-date lag.
      */
-    void sync() { flushPending(); }
+    void
+    sync() LBA_COORDINATOR_ONLY
+    {
+        assertCoordinator();
+        flushPending();
+    }
 
     /** The shared cache hierarchy (rewind cost modelling). */
     mem::CacheHierarchy& hierarchy() { return hierarchy_; }
@@ -338,7 +350,7 @@ class PipelineTimer
      * charge it to that lane, and seal the aggregate stats. Call exactly
      * once.
      */
-    void finishAll();
+    void finishAll() LBA_COORDINATOR_ONLY;
 
     /**
      * External-dispatch end-of-program hook: run @p engine's finish pass
@@ -347,18 +359,21 @@ class PipelineTimer
      * @return The lane's new last-finish time.
      */
     Cycles finishShard(unsigned producer, unsigned lane,
-                       lifeguard::DispatchEngine& engine);
+                       lifeguard::DispatchEngine& engine)
+        LBA_COORDINATOR_ONLY;
 
     /**
      * Seal the aggregate and per-producer statistics after every
      * finishShard() call. finishAll() = per-lane finishShard + seal().
      * Call exactly once.
      */
-    void seal();
+    void seal() LBA_COORDINATOR_ONLY;
 
-    /** Aggregate statistics (totals valid after finishAll()/seal()). */
+    /** Aggregate statistics (totals valid after finishAll()/seal()).
+     *  Flushes deferred dispatch first, hence coordinator-only (as is
+     *  every accessor below that syncs). */
     const LbaRunStats&
-    stats() const
+    stats() const LBA_COORDINATOR_ONLY
     {
         syncConst();
         return stats_;
@@ -369,7 +384,8 @@ class PipelineTimer
      * records, its log stream's bytes-per-record, its consume lag, and
      * (after seal()) its completion time in total_cycles.
      */
-    const LbaRunStats& producerStats(unsigned producer) const;
+    const LbaRunStats& producerStats(unsigned producer) const
+        LBA_COORDINATOR_ONLY;
 
     /** Current app-core clock of @p producer. */
     Cycles producerTime(unsigned producer) const;
@@ -387,22 +403,27 @@ class PipelineTimer
         consume_observer_ = std::move(observer);
     }
 
-    const log::LogBufferStats& bufferStats(unsigned lane) const;
-    const lifeguard::DispatchStats& dispatchStats(unsigned lane) const;
-    lifeguard::Lifeguard& lifeguard(unsigned lane) const;
+    /** Quiescent-read snapshots (by value: the underlying counters
+     *  live in side-owned structs; see LogBufferStats/DispatchStats). */
+    log::LogBufferStats bufferStats(unsigned lane) const;
+    lifeguard::DispatchStats dispatchStats(unsigned lane) const
+        LBA_COORDINATOR_ONLY;
+    lifeguard::Lifeguard& lifeguard(unsigned lane) const
+        LBA_COORDINATOR_ONLY;
 
     /** Lane clock: finish time of the lane's last consumed record. */
-    Cycles laneLastFinish(unsigned lane) const;
+    Cycles laneLastFinish(unsigned lane) const LBA_COORDINATOR_ONLY;
     /** Cycles the lane's core spent consuming (and finishing). */
-    Cycles laneBusyCycles(unsigned lane) const;
+    Cycles laneBusyCycles(unsigned lane) const LBA_COORDINATOR_ONLY;
     /** Records this lane consumed (broadcasts count in every lane). */
-    std::uint64_t laneRecords(unsigned lane) const;
+    std::uint64_t laneRecords(unsigned lane) const LBA_COORDINATOR_ONLY;
     /** Mean produce-to-consume lag of this lane's records. */
-    double laneMeanConsumeLag(unsigned lane) const;
+    double laneMeanConsumeLag(unsigned lane) const LBA_COORDINATOR_ONLY;
     /** Bytes that crossed this lane's transport link. */
-    double laneTransportBytes(unsigned lane) const;
+    double laneTransportBytes(unsigned lane) const LBA_COORDINATOR_ONLY;
     /** Cycles this lane's consumption waited on its transport. */
-    Cycles laneTransportWaitCycles(unsigned lane) const;
+    Cycles laneTransportWaitCycles(unsigned lane) const
+        LBA_COORDINATOR_ONLY;
 
     /** Producer 0's compressor (the log stream of a single-app run). */
     const compress::LogCompressor& compressor() const
@@ -452,10 +473,13 @@ class PipelineTimer
         LbaRunStats stats;
     };
 
-    /** Shared lane construction for both constructor modes. */
+    /** Shared lane construction for both constructor modes (the
+     *  constructing thread is the coordinator by definition; the
+     *  constructors assume the role before calling in). */
     void buildLanes(unsigned nlanes,
                     const std::vector<lifeguard::Lifeguard*>& lifeguards,
-                    const std::vector<LaneLimits>& lane_limits);
+                    const std::vector<LaneLimits>& lane_limits)
+        LBA_COORDINATOR_ONLY;
 
     /** True when the filter drops this record. */
     bool filtered(const log::EventRecord& record) const;
@@ -467,7 +491,7 @@ class PipelineTimer
     /** Free @p needed slots in @p lane, stalling @p producer if
      *  needed. */
     void reserveSlots(Producer& producer, Lane& lane,
-                      std::size_t needed);
+                      std::size_t needed) LBA_COORDINATOR_ONLY;
 
     /**
      * Deliver one record to one lane: push it into the lane buffer,
@@ -477,7 +501,7 @@ class PipelineTimer
     void consumeOn(Producer& producer, Lane& lane,
                    lifeguard::DispatchEngine& engine,
                    const log::EventRecord& record, Cycles produced_at,
-                   double record_bytes);
+                   double record_bytes) LBA_COORDINATOR_ONLY;
 
     /**
      * Fold one consumed record's @p cost into the timing recurrence:
@@ -487,14 +511,14 @@ class PipelineTimer
     void applyRecordTiming(Producer& producer, Lane& lane,
                            const log::EventRecord& record,
                            Cycles produced_at, double record_bytes,
-                           Cycles cost);
+                           Cycles cost) LBA_COORDINATOR_ONLY;
 
     /**
      * Drain the deferred dispatch queue: run every queued handler in
      * arrival order (batched per engine run), then apply the timing
      * recurrence per record in the same order.
      */
-    void flushPending();
+    void flushPending() LBA_COORDINATOR_ONLY;
 
     /**
      * Threaded phase 1: fan the first @p n queued records out to the
@@ -502,13 +526,17 @@ class PipelineTimer
      * replay the recorded costs through the shared hierarchy in global
      * arrival order, filling pending_costs_[0, n).
      */
-    void runPendingThreaded(std::size_t n);
+    void runPendingThreaded(std::size_t n) LBA_COORDINATOR_ONLY;
 
     /** Threaded mode confines the timer to the thread that built it:
      *  every mutating entry point asserts it (the mid-run-read guard
-     *  the TSan CI job backs up). No-op in serial mode. */
+     *  the TSan CI job backs up). No-op in serial mode. The
+     *  ASSERT_CAPABILITY is the static twin of the runtime trap: a
+     *  passed check *proves* the coordinator role to the analysis —
+     *  tools/lba_lint.py keeps the two in lockstep. */
     void
     assertCoordinator() const
+        LBA_ASSERT_CAPABILITY(::lba::threading::coordinator_role)
     {
         LBA_ASSERT(!executor_ ||
                        std::this_thread::get_id() == coordinator_,
@@ -518,14 +546,14 @@ class PipelineTimer
     /** flushPending() from a const accessor: catching up lazily-
      *  deferred state does not change observable results. */
     void
-    syncConst() const
+    syncConst() const LBA_COORDINATOR_ONLY
     {
         const_cast<PipelineTimer*>(this)->flushPending();
     }
 
     /** Shared filtering + compression prologue of both log() variants. */
     bool admitRecord(Producer& producer, const log::EventRecord& record,
-                     double* record_bytes);
+                     double* record_bytes) LBA_COORDINATOR_ONLY;
 
     mem::CacheHierarchy& hierarchy_;
     LbaConfig config_;
@@ -533,11 +561,13 @@ class PipelineTimer
     std::vector<Producer> producers_;
 
     /** Scratch: per-lane slot demand of one multi-target record. */
-    std::vector<std::pair<unsigned, std::size_t>> lane_demand_;
+    std::vector<std::pair<unsigned, std::size_t>> lane_demand_
+        LBA_GUARDED_BY(::lba::threading::coordinator_role);
 
     /** Deferred batched dispatch: records awaiting consumption, in
      *  arrival order (contiguous so engine runs batch directly). */
-    std::vector<log::EventRecord> pending_records_;
+    std::vector<log::EventRecord> pending_records_
+        LBA_GUARDED_BY(::lba::threading::coordinator_role);
     /** Per-record routing/timing inputs parallel to pending_records_. */
     struct PendingMeta
     {
@@ -547,24 +577,36 @@ class PipelineTimer
         Cycles produced_at = 0;
         double bytes = 0.0;
     };
-    std::vector<PendingMeta> pending_meta_;
+    std::vector<PendingMeta> pending_meta_
+        LBA_GUARDED_BY(::lba::threading::coordinator_role);
     /** Scratch: per-record handler costs of one flush. */
-    std::vector<Cycles> pending_costs_;
-    /** Threaded mode only: the worker pool (null in serial mode). */
-    std::unique_ptr<ThreadedExecutor> executor_;
+    std::vector<Cycles> pending_costs_
+        LBA_GUARDED_BY(::lba::threading::coordinator_role);
+    /** Threaded mode only: the worker pool (null in serial mode).
+     *  The pointer is read by assertCoordinator() from any thread (a
+     *  stale read can only soften a trap into a pass for a timer
+     *  mid-construction, which no correct program observes); the
+     *  executor itself is driven by the coordinator alone. */
+    std::unique_ptr<ThreadedExecutor> executor_
+        LBA_PT_GUARDED_BY(::lba::threading::coordinator_role);
     /** Scratch: one deferred-cost batch per engine run of one flush
      *  (address-stable from enqueue to replay — resized up front). */
-    std::vector<lifeguard::DeferredBatch> batch_scratch_;
+    std::vector<lifeguard::DeferredBatch> batch_scratch_
+        LBA_GUARDED_BY(::lba::threading::coordinator_role);
     /** The thread the timer was built on (threaded-mode guard). */
     std::thread::id coordinator_;
     /** Re-entrancy guard: a flush is in progress (observer callbacks
      *  may reach a syncing accessor). */
-    bool flushing_ = false;
+    bool flushing_ LBA_GUARDED_BY(::lba::threading::coordinator_role) =
+        false;
 
     ConsumeObserver consume_observer_;
-    stats::Summary consume_lag_;
-    LbaRunStats stats_;
-    bool finished_ = false;
+    stats::Summary consume_lag_
+        LBA_GUARDED_BY(::lba::threading::coordinator_role);
+    LbaRunStats stats_
+        LBA_GUARDED_BY(::lba::threading::coordinator_role);
+    bool finished_ LBA_GUARDED_BY(::lba::threading::coordinator_role) =
+        false;
 };
 
 } // namespace lba::core

@@ -27,13 +27,21 @@ ThreadedExecutor::ThreadedExecutor(unsigned nworkers)
         workers_.push_back(std::make_unique<Worker>());
     }
     for (auto& worker : workers_) {
-        worker->thread =
-            std::thread([this, w = worker.get()] { workerLoop(*w); });
+        // The one place the worker role is established: this lambda IS
+        // the worker thread's entry function.
+        worker->thread = std::thread([this, w = worker.get()] {
+            threading::assumeWorkerRole();
+            workerLoop(*w);
+        });
     }
 }
 
 ThreadedExecutor::~ThreadedExecutor()
 {
+    // The destroying thread owns the executor — it is the coordinator
+    // by construction (PipelineTimer tears its lanes down on the
+    // thread that built them; seal() already joined on that thread).
+    threading::assumeCoordinatorRole();
     stopAndJoin();
 }
 
@@ -44,7 +52,7 @@ ThreadedExecutor::stopAndJoin()
     joined_ = true;
     for (auto& worker : workers_) {
         {
-            std::lock_guard<std::mutex> lock(worker->mutex);
+            sync::MutexLock lock(worker->mutex);
             worker->stop.store(true, std::memory_order_release);
         }
         worker->cv_work.notify_one();
@@ -90,7 +98,7 @@ ThreadedExecutor::dispatchRound()
         std::uint64_t round =
             worker.publish.load(std::memory_order_relaxed) + 1;
         {
-            std::lock_guard<std::mutex> lock(worker.mutex);
+            sync::MutexLock lock(worker.mutex);
             worker.publish.store(round, std::memory_order_release);
         }
         worker.cv_work.notify_one();
@@ -113,8 +121,8 @@ ThreadedExecutor::dispatchRound()
             std::this_thread::yield();
         }
         if (worker.done.load(std::memory_order_acquire) != target) {
-            std::unique_lock<std::mutex> lock(worker.mutex);
-            worker.cv_done.wait(lock, [&] {
+            sync::MutexLock lock(worker.mutex);
+            worker.cv_done.wait(worker.mutex, [&] {
                 return worker.done.load(std::memory_order_acquire) ==
                        target;
             });
@@ -137,8 +145,8 @@ ThreadedExecutor::workerLoop(Worker& worker)
             if (!ready) std::this_thread::yield();
         }
         if (!ready) {
-            std::unique_lock<std::mutex> lock(worker.mutex);
-            worker.cv_work.wait(lock, [&] {
+            sync::MutexLock lock(worker.mutex);
+            worker.cv_work.wait(worker.mutex, [&] {
                 return worker.publish.load(std::memory_order_acquire) !=
                            seen ||
                        worker.stop.load(std::memory_order_acquire);
@@ -154,13 +162,17 @@ ThreadedExecutor::workerLoop(Worker& worker)
         // worker, so its lifeguard state is touched by one thread at a
         // time, ordered by the publish/done chain.
         for (const Run& run : worker.runs) {
+            // This worker owns the engine's functional side for the
+            // round: the engine is pinned here, and the publish/done
+            // chain hands its lifeguard state over exclusively.
+            run.engine->assumeFunctionalOwner();
             run.engine->consumeBatchDeferred(run.records, run.count,
                                              *run.out);
         }
         worker.runs.clear();
         seen = target;
         {
-            std::lock_guard<std::mutex> lock(worker.mutex);
+            sync::MutexLock lock(worker.mutex);
             worker.done.store(seen, std::memory_order_release);
         }
         worker.cv_done.notify_one();

@@ -42,27 +42,33 @@
  */
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "lifeguard/dispatch.h"
 #include "log/event.h"
 
 namespace lba::core {
 
-/** See the file comment. Coordinator-thread only, except workerLoop. */
+/**
+ * See the file comment. Coordinator-thread only, except workerLoop —
+ * and the annotations now say so: the public round API is
+ * LBA_COORDINATOR_ONLY, workerLoop is LBA_WORKER_ONLY, and the thread
+ * entry lambda is the one place the worker role is assumed.
+ */
 class ThreadedExecutor
 {
   public:
     /** Spawns @p nworkers threads (>= 1), idle until dispatchRound(). */
     explicit ThreadedExecutor(unsigned nworkers);
 
-    /** Joins the workers (idempotent with stopAndJoin()). */
+    /** Joins the workers (idempotent with stopAndJoin()). The
+     *  destroying thread is the owning coordinator by construction —
+     *  the one context where the role holds without a driver assume. */
     ~ThreadedExecutor();
 
     ThreadedExecutor(const ThreadedExecutor&) = delete;
@@ -70,7 +76,8 @@ class ThreadedExecutor
 
     /** Pin @p engine's lifeguard to worker `hint % workers()` now,
      *  before any record flows (lane engines at construction). */
-    void bind(lifeguard::DispatchEngine* engine, unsigned hint);
+    void bind(lifeguard::DispatchEngine* engine, unsigned hint)
+        LBA_COORDINATOR_ONLY;
 
     /**
      * Stage one batch for the next round on @p engine's worker
@@ -81,14 +88,14 @@ class ThreadedExecutor
      */
     void enqueue(lifeguard::DispatchEngine* engine, unsigned hint,
                  const log::EventRecord* records, std::size_t count,
-                 lifeguard::DeferredBatch* out);
+                 lifeguard::DeferredBatch* out) LBA_COORDINATOR_ONLY;
 
     /** Run every staged batch; returns when all workers are done (and
      *  their side effects are visible, per the publish→done chain). */
-    void dispatchRound();
+    void dispatchRound() LBA_COORDINATOR_ONLY;
 
     /** Stop and join the workers. Idempotent; implied by ~. */
-    void stopAndJoin();
+    void stopAndJoin() LBA_COORDINATOR_ONLY;
 
     unsigned workers() const
     {
@@ -114,21 +121,26 @@ class ThreadedExecutor
         std::atomic<std::uint64_t> done{0};
         std::atomic<bool> stop{false};
         /** Batch list: coordinator-owned between rounds, worker-owned
-         *  between its publish and done (see file comment). */
+         *  between its publish and done (see file comment). The
+         *  handoff is the publish/done counter chain, which is beyond
+         *  a GUARDED_BY — the TSan CI job covers what TSA cannot. */
         std::vector<Run> runs;
         /** Sleep support only; the data above is lock-free. */
-        std::mutex mutex;
-        std::condition_variable cv_work;
-        std::condition_variable cv_done;
+        sync::Mutex mutex;
+        sync::CondVar cv_work;
+        sync::CondVar cv_done;
     };
 
-    void workerLoop(Worker& worker);
+    /** Worker-thread body; the entry lambda assumes the role. */
+    void workerLoop(Worker& worker) LBA_WORKER_ONLY;
 
     /** Workers are address-stable (atomics are not movable). */
     std::vector<std::unique_ptr<Worker>> workers_;
     /** Lifeguard -> worker pinning (see file comment). */
-    std::unordered_map<const lifeguard::Lifeguard*, unsigned> binding_;
-    bool joined_ = false;
+    std::unordered_map<const lifeguard::Lifeguard*, unsigned> binding_
+        LBA_GUARDED_BY(::lba::threading::coordinator_role);
+    bool joined_ LBA_GUARDED_BY(::lba::threading::coordinator_role) =
+        false;
 };
 
 } // namespace lba::core

@@ -78,7 +78,7 @@ Cycles
 DispatchEngine::consumeBatch(const log::EventRecord* records,
                              std::size_t count, Cycles* costs)
 {
-    ++stats_.batches;
+    ++functional_.batches;
     Cycles total = 0;
     for (std::size_t i = 0; i < count; ++i) {
         Cycles cycles = dispatchOne(records[i]);
@@ -92,7 +92,7 @@ Cycles
 DispatchEngine::consumeBatch(
     std::span<const log::LogBuffer::Entry> entries, Cycles* costs)
 {
-    ++stats_.batches;
+    ++functional_.batches;
     Cycles total = 0;
     for (std::size_t i = 0; i < entries.size(); ++i) {
         Cycles cycles = dispatchOne(entries[i].record);
@@ -138,7 +138,7 @@ DispatchEngine::consumeBatchDeferred(const log::EventRecord* records,
                                      std::size_t count,
                                      DeferredBatch& out)
 {
-    ++stats_.batches;
+    ++functional_.batches;
     out.clear();
     out.records.reserve(count);
     for (std::size_t i = 0; i < count; ++i) {
@@ -157,8 +157,9 @@ DispatchEngine::consumeBatchDeferred(const log::EventRecord* records,
         // coordinating thread, once the costs exist — splitting the
         // two halves across the flush barrier is what keeps the stats
         // struct race-free under threaded execution.
-        ++stats_.records;
-        ++stats_.records_by_type[static_cast<std::size_t>(record.type)];
+        ++functional_.records;
+        ++functional_
+              .records_by_type[static_cast<std::size_t>(record.type)];
     }
 }
 
@@ -176,8 +177,8 @@ DispatchEngine::replayDeferred(const log::EventRecord& record,
         sink_.memAccess(mem.addr, mem.is_write);
     }
     cycles += sink_.take();
-    stats_.total_cycles += cycles;
-    stats_.cycles_by_type[static_cast<std::size_t>(record.type)] +=
+    timing_.total_cycles += cycles;
+    timing_.cycles_by_type[static_cast<std::size_t>(record.type)] +=
         cycles;
     return cycles;
 }
@@ -187,7 +188,7 @@ DispatchEngine::finish()
 {
     lifeguard_.finish(sink_);
     Cycles cycles = sink_.take();
-    stats_.total_cycles += cycles;
+    timing_.total_cycles += cycles;
     return cycles;
 }
 

@@ -30,6 +30,7 @@
 #include <array>
 #include <span>
 
+#include "common/thread_annotations.h"
 #include "lifeguard/lifeguard.h"
 #include "log/log_buffer.h"
 #include "mem/hierarchy.h"
@@ -46,7 +47,17 @@ struct DispatchConfig
     unsigned core = 1;
 };
 
-/** Aggregate dispatch statistics. */
+/**
+ * Aggregate dispatch statistics, merged across the engine's two
+ * ownership domains: the record counters (records, records_by_type,
+ * batches) belong to whichever thread runs the handlers — the
+ * coordinator in serial mode, this engine's worker lane in threaded
+ * mode — while the cycle counters (total_cycles, cycles_by_type) are
+ * always charged on the coordinating thread, because they come from
+ * the shared, order-sensitive cache hierarchy. stats() assembles this
+ * snapshot; read it only while the engine is quiescent (after a run,
+ * or between flush barriers).
+ */
 struct DispatchStats
 {
     std::uint64_t records = 0;
@@ -120,18 +131,35 @@ class DispatchEngine
                    const DispatchConfig& config = {});
 
     /**
+     * Statically adopt this engine's *functional* side: the thread
+     * that runs its handlers and owns its record counters. That is the
+     * coordinator on the serial paths and the engine's worker lane
+     * between publish/done barriers on the threaded path — which is
+     * why it is a per-engine capability rather than a fixed global
+     * role. Call from exactly the code that establishes the ownership:
+     * the serial drain loops and ThreadedExecutor::workerLoop().
+     */
+    void assumeFunctionalOwner() const LBA_ASSERT_CAPABILITY(functional_side_)
+    {
+    }
+
+    /**
      * Consume one record: dispatch + handler execution, through the
      * virtual handleEvent() path (the retained per-record baseline).
+     * Serial path: charges the shared hierarchy directly, so the
+     * caller must be the coordinator *and* own the functional side.
      * @return Cycles the lifeguard core spent on this record.
      */
-    Cycles consume(const log::EventRecord& record);
+    Cycles consume(const log::EventRecord& record)
+        LBA_REQUIRES(::lba::threading::coordinator_role, functional_side_);
 
     /**
      * Consume one record through the resolved handler table (no
      * virtual dispatch). Charges exactly the cycles consume() would.
      * @return Cycles the lifeguard core spent on this record.
      */
-    Cycles consumeTable(const log::EventRecord& record);
+    Cycles consumeTable(const log::EventRecord& record)
+        LBA_REQUIRES(::lba::threading::coordinator_role, functional_side_);
 
     /**
      * Drain a contiguous record batch through the handler table, in
@@ -140,7 +168,8 @@ class DispatchEngine
      * @return Total cycles across the batch.
      */
     Cycles consumeBatch(const log::EventRecord* records,
-                        std::size_t count, Cycles* costs = nullptr);
+                        std::size_t count, Cycles* costs = nullptr)
+        LBA_REQUIRES(::lba::threading::coordinator_role, functional_side_);
 
     /**
      * Drain a log-buffer span (see log::LogBuffer::frontSpan) through
@@ -148,7 +177,8 @@ class DispatchEngine
      * @return Total cycles across the batch.
      */
     Cycles consumeBatch(std::span<const log::LogBuffer::Entry> entries,
-                        Cycles* costs = nullptr);
+                        Cycles* costs = nullptr)
+        LBA_REQUIRES(::lba::threading::coordinator_role, functional_side_);
 
     /**
      * Functional half of consumeBatch() for threaded execution: run
@@ -157,11 +187,13 @@ class DispatchEngine
      * cache hierarchy. Safe to call from a worker thread that owns
      * this engine, concurrently with other engines' workers — it
      * touches only the lifeguard, the record counters of stats(), and
-     * @p out. Pair every call with replayDeferred() over the same
-     * batch on the coordinating thread.
+     * @p out; hence it requires only the functional side, not the
+     * coordinator role. Pair every call with replayDeferred() over the
+     * same batch on the coordinating thread.
      */
     void consumeBatchDeferred(const log::EventRecord* records,
-                              std::size_t count, DeferredBatch& out);
+                              std::size_t count, DeferredBatch& out)
+        LBA_REQUIRES(functional_side_);
 
     /**
      * Timing half: charge record @p i of @p batch through this
@@ -173,15 +205,37 @@ class DispatchEngine
      * @return Cycles the lifeguard core spends on this record.
      */
     Cycles replayDeferred(const log::EventRecord& record,
-                          const DeferredBatch& batch, std::size_t i);
+                          const DeferredBatch& batch, std::size_t i)
+        LBA_COORDINATOR_ONLY;
 
     /**
-     * Run the lifeguard's end-of-program hook.
+     * Run the lifeguard's end-of-program hook. The hook both mutates
+     * lifeguard state and charges the shared hierarchy, so it needs
+     * the coordinator role and the functional side (at end of run the
+     * coordinator holds both — the workers have joined).
      * @return Cycles spent in the final pass.
      */
-    Cycles finish();
+    Cycles finish()
+        LBA_REQUIRES(::lba::threading::coordinator_role, functional_side_);
 
-    const DispatchStats& stats() const { return stats_; }
+    /**
+     * Merged snapshot of both ownership domains' counters (see
+     * DispatchStats). Quiescent reads only — which is why this is the
+     * one accessor the analysis deliberately waives: it reads fields
+     * of both sides.
+     */
+    DispatchStats
+    stats() const LBA_NO_THREAD_SAFETY_ANALYSIS
+    {
+        DispatchStats merged;
+        merged.records = functional_.records;
+        merged.records_by_type = functional_.records_by_type;
+        merged.batches = functional_.batches;
+        merged.total_cycles = timing_.total_cycles;
+        merged.cycles_by_type = timing_.cycles_by_type;
+        return merged;
+    }
+
     Lifeguard& lifeguard() { return lifeguard_; }
 
   private:
@@ -216,25 +270,53 @@ class DispatchEngine
     };
 
     /** Dispatch one record through the resolved table, with the
-     *  unregistered-type fast path (batched loops). */
-    Cycles dispatchOne(const log::EventRecord& record);
+     *  unregistered-type fast path (batched loops). Runs the handler
+     *  (functional side) and charges the shared hierarchy through
+     *  sink_ (coordinator), so it is a serial-path helper. */
+    Cycles dispatchOne(const log::EventRecord& record)
+        LBA_REQUIRES(::lba::threading::coordinator_role, functional_side_);
 
-    /** Fold one consumed record into the statistics. */
+    /** Fold one consumed record into the statistics (serial paths:
+     *  both domains advance together). */
     Cycles
     account(const log::EventRecord& record, Cycles cycles)
+        LBA_REQUIRES(::lba::threading::coordinator_role, functional_side_)
     {
-        ++stats_.records;
-        stats_.total_cycles += cycles;
+        ++functional_.records;
+        timing_.total_cycles += cycles;
         auto type = static_cast<std::size_t>(record.type);
-        ++stats_.records_by_type[type];
-        stats_.cycles_by_type[type] += cycles;
+        ++functional_.records_by_type[type];
+        timing_.cycles_by_type[type] += cycles;
         return cycles;
     }
 
+    /** Record counters, owned by whichever thread runs the handlers
+     *  (see DispatchStats). */
+    struct FunctionalCounts
+    {
+        std::uint64_t records = 0;
+        std::array<std::uint64_t, log::kNumEventTypes> records_by_type{};
+        std::uint64_t batches = 0;
+    };
+
+    /** Cycle counters, charged only on the coordinating thread. */
+    struct TimingCounts
+    {
+        Cycles total_cycles = 0;
+        std::array<Cycles, log::kNumEventTypes> cycles_by_type{};
+    };
+
+    /** The engine's functional side as a per-engine capability: held
+     *  by the one thread currently running its handlers. */
+    threading::ThreadRole functional_side_;
+
     Lifeguard& lifeguard_;
     DispatchConfig config_;
-    Sink sink_;
-    DispatchStats stats_;
+    /** Charges the shared, order-sensitive hierarchy — coordinator
+     *  territory (workers capture costs into DeferredBatch instead). */
+    Sink sink_ LBA_GUARDED_BY(::lba::threading::coordinator_role);
+    FunctionalCounts functional_ LBA_GUARDED_BY(functional_side_);
+    TimingCounts timing_ LBA_GUARDED_BY(::lba::threading::coordinator_role);
     /** Handler table with the null slots resolved (see file comment). */
     std::array<Lifeguard::Handler, log::kNumEventTypes> resolved_;
 };

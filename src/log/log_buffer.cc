@@ -25,7 +25,8 @@ LogBuffer::LogBuffer(LogBuffer&& other) noexcept
       tail_(other.tail_.load(std::memory_order_relaxed)),
       head_idx_(other.head_idx_),
       tail_idx_(other.tail_idx_),
-      stats_(other.stats_)
+      producer_stats_(other.producer_stats_),
+      consumer_stats_(other.consumer_stats_)
 {
 }
 
@@ -37,7 +38,7 @@ LogBuffer::push(const EventRecord& record, Cycles produced_at)
     // are about to overwrite has been fully read before it was freed.
     std::uint64_t head = head_.load(std::memory_order_acquire);
     if (tail - head >= capacity_) {
-        ++stats_.full_events;
+        ++producer_stats_.full_events;
         return false;
     }
     ring_[tail_idx_] = {record, produced_at};
@@ -45,10 +46,10 @@ LogBuffer::push(const EventRecord& record, Cycles produced_at)
     // Release: the entry write above becomes visible before the new
     // tail does, so the consumer never reads a half-written entry.
     tail_.store(tail + 1, std::memory_order_release);
-    ++stats_.pushes;
+    ++producer_stats_.pushes;
     std::uint64_t occupancy = tail + 1 - head;
-    if (occupancy > stats_.max_occupancy) {
-        stats_.max_occupancy = occupancy;
+    if (occupancy > producer_stats_.max_occupancy) {
+        producer_stats_.max_occupancy = occupancy;
     }
     return true;
 }
@@ -58,7 +59,7 @@ LogBuffer::pop(Entry* out)
 {
     std::uint64_t head = head_.load(std::memory_order_relaxed);
     if (tail_.load(std::memory_order_acquire) == head) {
-        ++stats_.empty_events;
+        ++consumer_stats_.empty_events;
         return false;
     }
     if (out) *out = ring_[head_idx_];
@@ -97,7 +98,7 @@ LogBuffer::popN(std::size_t n)
     // Release: our reads of the popped entries complete before the
     // producer sees the slots as free for reuse.
     head_.store(head + n, std::memory_order_release);
-    stats_.pops += n;
+    consumer_stats_.pops += n;
 }
 
 } // namespace lba::log

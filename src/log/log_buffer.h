@@ -38,6 +38,16 @@
  * the full memory-order argument; tests/log_test.cpp stress-tests the
  * cross-thread ring under ThreadSanitizer.
  *
+ * Side ownership is machine-checked (docs/STATIC_ANALYSIS.md): the
+ * ring carries two role capabilities, `producer_side_` and
+ * `consumer_side_`, every entry point is annotated with the side it
+ * belongs to (LBA_SPSC_PRODUCER / LBA_SPSC_CONSUMER), and the
+ * producer-/consumer-owned fields are LBA_GUARDED_BY the matching
+ * side. The owning thread adopts its side once through
+ * assumeProducer()/assumeConsumer() — under clang -Wthread-safety, a
+ * consumer that writes a producer-owned field no longer compiles
+ * (tests/static_analysis/ proves it).
+ *
  * The produce/start/finish recurrence that consumes this buffer is
  * documented in core/lba_system.h and docs/ARCHITECTURE.md.
  */
@@ -47,17 +57,19 @@
 #include <span>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "log/event.h"
 
 namespace lba::log {
 
 /**
- * Occupancy and stall accounting for the buffer. Producer-side fields
- * (pushes, full_events, max_occupancy) are written only by the pushing
- * thread; consumer-side fields (pops, empty_events) only by the popping
- * thread — so concurrent operation never races on a field. Read the
- * whole struct only while the ring is quiescent (no concurrent
+ * Occupancy and stall accounting for the buffer, merged across the two
+ * sides. Internally the ring keeps the producer-side fields (pushes,
+ * full_events, max_occupancy) and the consumer-side fields (pops,
+ * empty_events) in separate side-guarded structs, so concurrent
+ * operation never races on a field; stats() assembles this snapshot.
+ * Read it only while the ring is quiescent (no concurrent
  * producer/consumer), e.g. after a run.
  */
 struct LogBufferStats
@@ -89,15 +101,27 @@ class LogBuffer
 
     /**
      * Moving is a setup-time convenience (building lane arrays); it is
-     * NOT thread-safe and must happen before any concurrent use.
+     * NOT thread-safe and must happen before any concurrent use (which
+     * is why the analysis is waived here).
      */
-    LogBuffer(LogBuffer&& other) noexcept;
+    LogBuffer(LogBuffer&& other) noexcept LBA_NO_THREAD_SAFETY_ANALYSIS;
     LogBuffer& operator=(LogBuffer&&) = delete;
+
+    /**
+     * Statically adopt the producer side of this ring. Call once from
+     * the thread that owns push() — the static analogue of "I am the
+     * single producer", checked per call site rather than at runtime
+     * (an SPSC ring has no cheap runtime owner check).
+     */
+    void assumeProducer() const LBA_ASSERT_CAPABILITY(producer_side_) {}
+
+    /** Statically adopt the consumer side (pop/front/frontSpan/popN). */
+    void assumeConsumer() const LBA_ASSERT_CAPABILITY(consumer_side_) {}
 
     /** True when no further records fit (producer-accurate; a
      *  concurrent consumer can only make this stale towards "room"). */
     bool
-    full() const
+    full() const LBA_SPSC_PRODUCER(producer_side_)
     {
         return tail_.load(std::memory_order_relaxed) -
                    head_.load(std::memory_order_acquire) >=
@@ -107,7 +131,7 @@ class LogBuffer
     /** True when no records are queued (consumer-accurate; a
      *  concurrent producer can only make this stale towards "data"). */
     bool
-    empty() const
+    empty() const LBA_SPSC_CONSUMER(consumer_side_)
     {
         return tail_.load(std::memory_order_acquire) ==
                head_.load(std::memory_order_relaxed);
@@ -127,16 +151,17 @@ class LogBuffer
      * Append a record produced at @p produced_at. Producer side.
      * @return False (and counts a full event) when the buffer is full.
      */
-    bool push(const EventRecord& record, Cycles produced_at);
+    bool push(const EventRecord& record, Cycles produced_at)
+        LBA_SPSC_PRODUCER(producer_side_);
 
     /**
      * Remove the oldest record. Consumer side.
      * @return False (and counts an empty event) when the buffer is empty.
      */
-    bool pop(Entry* out);
+    bool pop(Entry* out) LBA_SPSC_CONSUMER(consumer_side_);
 
     /** Peek at the oldest record without removing it. Consumer side. */
-    const Entry* front() const;
+    const Entry* front() const LBA_SPSC_CONSUMER(consumer_side_);
 
     /**
      * Contiguous view of up to @p max of the oldest queued entries,
@@ -147,18 +172,54 @@ class LogBuffer
      * producer never reuses a slot before the consumer releases it
      * through popN()/pop().
      */
-    std::span<const Entry> frontSpan(std::size_t max) const;
+    std::span<const Entry> frontSpan(std::size_t max) const
+        LBA_SPSC_CONSUMER(consumer_side_);
 
     /**
      * Remove the @p n oldest records in one step (counted as @p n
      * pops). @p n must not exceed size(). Consumer side.
      */
-    void popN(std::size_t n);
+    void popN(std::size_t n) LBA_SPSC_CONSUMER(consumer_side_);
 
-    /** See LogBufferStats for the cross-thread read rules. */
-    const LogBufferStats& stats() const { return stats_; }
+    /**
+     * Merged snapshot of both sides' counters. Quiescent reads only
+     * (see LogBufferStats) — which is why this is the one accessor the
+     * analysis deliberately waives: it reads fields of both sides.
+     */
+    LogBufferStats
+    stats() const LBA_NO_THREAD_SAFETY_ANALYSIS
+    {
+        LogBufferStats merged;
+        merged.pushes = producer_stats_.pushes;
+        merged.full_events = producer_stats_.full_events;
+        merged.max_occupancy = producer_stats_.max_occupancy;
+        merged.pops = consumer_stats_.pops;
+        merged.empty_events = consumer_stats_.empty_events;
+        return merged;
+    }
 
   private:
+    /** Counters only the pushing thread writes. */
+    struct ProducerStats
+    {
+        std::uint64_t pushes = 0;
+        std::uint64_t full_events = 0;
+        std::uint64_t max_occupancy = 0;
+    };
+
+    /** Counters only the popping thread writes. */
+    struct ConsumerStats
+    {
+        std::uint64_t pops = 0;
+        std::uint64_t empty_events = 0;
+    };
+
+    /** The producer side of the ring, as a static capability: held by
+     *  exactly the thread that owns push(). */
+    threading::ThreadRole producer_side_;
+    /** The consumer side (pop/front/frontSpan/popN). */
+    threading::ThreadRole consumer_side_;
+
     std::size_t capacity_;
     /** Ring storage: the entry for position p lives at p % capacity_
      *  (maintained incrementally — see head_idx_/tail_idx_). */
@@ -174,10 +235,11 @@ class LogBuffer
     /** head_ % capacity_, maintained by the consumer with a
      *  compare-and-subtract (a branch beats an integer division in
      *  this hot loop). */
-    std::size_t head_idx_ = 0;
+    std::size_t head_idx_ LBA_GUARDED_BY(consumer_side_) = 0;
     /** tail_ % capacity_, maintained by the producer likewise. */
-    std::size_t tail_idx_ = 0;
-    LogBufferStats stats_;
+    std::size_t tail_idx_ LBA_GUARDED_BY(producer_side_) = 0;
+    ProducerStats producer_stats_ LBA_GUARDED_BY(producer_side_);
+    ConsumerStats consumer_stats_ LBA_GUARDED_BY(consumer_side_);
 };
 
 } // namespace lba::log

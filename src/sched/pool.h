@@ -201,9 +201,13 @@ class LifeguardPool : public sim::RetireObserver
     PoolResult run();
 
     // sim::RetireObserver (driver internals; the pool observes the
-    // currently-scheduled tenant's process).
-    void onRetire(const sim::Retired& retired) override;
-    void onOsEvent(const sim::OsEvent& event) override;
+    // currently-scheduled tenant's process). Coordinator-confined:
+    // run() is the coordinator by construction (it builds the timer)
+    // and assumes the role once at its top.
+    void onRetire(const sim::Retired& retired) override
+        LBA_COORDINATOR_ONLY;
+    void onOsEvent(const sim::OsEvent& event) override
+        LBA_COORDINATOR_ONLY;
 
   private:
     struct Tenant;
@@ -218,7 +222,8 @@ class LifeguardPool : public sim::RetireObserver
     unsigned routeShard(Tenant& tenant, const log::EventRecord& record);
 
     /** Deliver one record of the current tenant through the engine. */
-    void deliver(Tenant& tenant, const log::EventRecord& record);
+    void deliver(Tenant& tenant, const log::EventRecord& record)
+        LBA_COORDINATOR_ONLY;
 
     /** Scheduling epoch: feed recent lag to the policy, reset windows. */
     void epoch();

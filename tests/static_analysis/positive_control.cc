@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Positive control for the negative-compile harness: the annotated
+ * ownership patterns used throughout src/, written the *correct* way.
+ * This TU must compile cleanly under -Wthread-safety -Werror; if it
+ * does not, the harness (not the tree) is broken, and the violation
+ * TUs' failures would prove nothing.
+ */
+
+#include "common/thread_annotations.h"
+#include "core/pipeline_timer.h"
+#include "log/log_buffer.h"
+
+/** GUARDED_BY data accessed under its mutex. */
+struct LbaLintCounter
+{
+    lba::sync::Mutex mutex;
+    int value LBA_GUARDED_BY(mutex) = 0;
+};
+
+namespace {
+
+/** A coordinator-by-construction driver: assume, then drive. */
+void
+coordinatorDrives(lba::core::PipelineTimer& timer,
+                  const lba::sim::Retired& retired)
+{
+    lba::threading::assumeCoordinatorRole();
+    timer.retire(retired);
+    timer.sync();
+    (void)timer.stats();
+}
+
+void
+bumpLocked(LbaLintCounter& counter)
+{
+    lba::sync::MutexLock lock(counter.mutex);
+    counter.value += 1;
+}
+
+/** Each SPSC side used by the thread that assumed it. */
+void
+producerPushes(lba::log::LogBuffer& ring, const lba::log::EventRecord& r)
+{
+    ring.assumeProducer();
+    if (!ring.full()) (void)ring.push(r, 0);
+}
+
+void
+consumerPops(lba::log::LogBuffer& ring)
+{
+    ring.assumeConsumer();
+    lba::log::LogBuffer::Entry entry;
+    while (ring.pop(&entry)) {
+    }
+}
+
+} // namespace
+
+/** Anchor so the object file is non-empty and the statics are used. */
+void
+lbaStaticAnalysisPositiveControl(lba::core::PipelineTimer& timer,
+                                 const lba::sim::Retired& retired,
+                                 lba::log::LogBuffer& ring,
+                                 const lba::log::EventRecord& record,
+                                 LbaLintCounter& counter)
+{
+    coordinatorDrives(timer, retired);
+    bumpLocked(counter);
+    producerPushes(ring, record);
+    consumerPops(ring);
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * MUST NOT COMPILE under -Wthread-safety -Werror (see CMakeLists.txt):
+ * writing a LBA_GUARDED_BY field without holding its mutex. The
+ * classic data race the analysis exists to reject.
+ */
+
+#include "common/thread_annotations.h"
+
+struct Counter
+{
+    lba::sync::Mutex mutex;
+    int value LBA_GUARDED_BY(mutex) = 0;
+};
+
+void
+bumpUnlocked(Counter& counter)
+{
+    counter.value += 1; // error: requires counter.mutex
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * MUST NOT COMPILE under -Wthread-safety -Werror (see CMakeLists.txt):
+ * the consumer side of an SPSC ring calling a producer-side entry
+ * point. The ring is safe precisely because each side is owned by one
+ * thread; a consumer that pushes would race the real producer on
+ * tail_idx_ and the producer stats.
+ */
+
+#include "log/log_buffer.h"
+
+void
+consumerPushes(lba::log::LogBuffer& ring, const lba::log::EventRecord& r)
+{
+    ring.assumeConsumer();
+    (void)ring.push(r, 0); // error: requires ring.producer_side_
+}

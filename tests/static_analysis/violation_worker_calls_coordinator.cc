@@ -1,0 +1,18 @@
+/**
+ * @file
+ * MUST NOT COMPILE under -Wthread-safety -Werror (see CMakeLists.txt):
+ * a worker-lane thread calling a coordinator-only timing-engine entry
+ * point. Holding the worker role does not grant the coordinator role —
+ * exactly the bug class PipelineTimer::assertCoordinator() traps at
+ * runtime, rejected here at compile time instead.
+ */
+
+#include "common/thread_annotations.h"
+#include "core/pipeline_timer.h"
+
+void
+workerTouchesTimer(lba::core::PipelineTimer& timer)
+{
+    lba::threading::assumeWorkerRole();
+    timer.sync(); // error: requires ::lba::threading::coordinator_role
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Standalone fuzz driver: the no-libFuzzer fallback linked into each
+ * harness when the toolchain cannot provide one (gcc has no
+ * -fsanitize=fuzzer; this container ships gcc only). Understands
+ * enough of the libFuzzer command line that the ctest replay entries
+ * and docs/FUZZING.md invocations work unchanged under either driver:
+ *
+ *   fuzz_decoder [-runs=N] [-max_total_time=S] <corpus file|dir>...
+ *
+ * Every corpus input is replayed verbatim, then mutated N times
+ * (default 256; -runs=0 replays only) with deterministic splitmix64
+ * mutations seeded from the input bytes — a failure reproduces by
+ * rerunning the same command, no crash file needed. Unknown -flags are
+ * ignored for libFuzzer parity. This driver finds far less than
+ * coverage-guided libFuzzer; the CI fuzz-smoke job runs the real one.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t& state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** One deterministic mutation step, in place. */
+void
+mutate(std::vector<std::uint8_t>& input, std::uint64_t& rng)
+{
+    std::uint64_t r = splitmix64(rng);
+    if (input.empty()) {
+        input.push_back(static_cast<std::uint8_t>(r));
+        return;
+    }
+    switch (r % 5) {
+        case 0: // flip one bit
+            input[(r >> 8) % input.size()] ^=
+                static_cast<std::uint8_t>(1u << ((r >> 3) % 8));
+            break;
+        case 1: // overwrite one byte
+            input[(r >> 8) % input.size()] =
+                static_cast<std::uint8_t>(r >> 16);
+            break;
+        case 2: // truncate
+            input.resize((r >> 8) % input.size());
+            break;
+        case 3: // append a chunk of noise
+            for (std::size_t i = 0, n = 1 + (r >> 8) % 16; i < n; ++i)
+                input.push_back(
+                    static_cast<std::uint8_t>(splitmix64(rng)));
+            break;
+        default: { // copy a chunk onto another position
+            std::size_t src = (r >> 8) % input.size();
+            std::size_t dst = (r >> 24) % input.size();
+            std::size_t len = 1 + (r >> 40) % 8;
+            for (std::size_t i = 0;
+                 i < len && src + i < input.size() &&
+                 dst + i < input.size();
+                 ++i)
+                input[dst + i] = input[src + i];
+            break;
+        }
+    }
+}
+
+bool
+readFile(const std::filesystem::path& path,
+         std::vector<std::uint8_t>* out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    out->assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    long runs = 256;
+    double max_total_time = 0; // seconds; 0 = unlimited
+    std::vector<std::filesystem::path> inputs;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        if (std::strncmp(arg, "-runs=", 6) == 0) {
+            runs = std::atol(arg + 6);
+        } else if (std::strncmp(arg, "-max_total_time=", 16) == 0) {
+            max_total_time = std::atof(arg + 16);
+        } else if (arg[0] == '-' && arg[1] != '\0') {
+            std::fprintf(stderr, "standalone driver: ignoring %s\n",
+                         arg);
+        } else {
+            inputs.emplace_back(arg);
+        }
+    }
+
+    // Expand directories into their (sorted) regular files.
+    std::vector<std::filesystem::path> files;
+    for (const auto& input : inputs) {
+        std::error_code ec;
+        if (std::filesystem::is_directory(input, ec)) {
+            for (const auto& entry :
+                 std::filesystem::directory_iterator(input, ec))
+                if (entry.is_regular_file())
+                    files.push_back(entry.path());
+        } else {
+            files.push_back(input);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "usage: %s [-runs=N] [-max_total_time=S] "
+                     "<corpus file|dir>...\n",
+                     argv[0]);
+        return 2;
+    }
+
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(
+                            max_total_time > 0 ? max_total_time
+                                               : 1e9));
+    std::size_t executions = 0;
+    for (const auto& file : files) {
+        std::vector<std::uint8_t> seed;
+        if (!readFile(file, &seed)) {
+            std::fprintf(stderr, "cannot read corpus file %s\n",
+                         file.c_str());
+            return 2;
+        }
+        // Replay the seed verbatim, then deterministic mutants of it.
+        LLVMFuzzerTestOneInput(seed.data(), seed.size());
+        ++executions;
+        std::uint64_t rng = 0x243f6a8885a308d3ull ^ seed.size();
+        for (const std::uint8_t byte : seed)
+            rng = rng * 131 + byte;
+        std::vector<std::uint8_t> mutant = seed;
+        for (long i = 0; i < runs; ++i) {
+            if (std::chrono::steady_clock::now() >= deadline) break;
+            mutate(mutant, rng);
+            LLVMFuzzerTestOneInput(mutant.data(), mutant.size());
+            ++executions;
+            if (mutant.size() > 4096 || (i & 15) == 15)
+                mutant = seed; // restart from the seed periodically
+        }
+    }
+    std::printf("standalone driver: %zu inputs over %zu seed files, "
+                "no findings\n",
+                executions, files.size());
+    return 0;
+}

@@ -69,7 +69,31 @@ class BitWriter
     unsigned bit_pos_ = 0; // next free bit index within bytes_.back()
 };
 
-/** Sequential bit stream reader over a byte buffer. */
+/**
+ * Outcome of a checked (try*) bit-stream read. kUnderrun is
+ * recoverable — the caller may push more bytes, seek back to the
+ * record boundary and retry — which is what the streaming decoders'
+ * kNeedMore path does; kMalformed is not.
+ */
+enum class BitsResult : std::uint8_t
+{
+    kOk = 0,
+    /** The buffer holds too few bits. */
+    kUnderrun,
+    /** Structurally invalid encoding (e.g. overlong varint). */
+    kMalformed,
+};
+
+/**
+ * Sequential bit stream reader over a byte buffer.
+ *
+ * Two read families: the asserting readBits/readVarint for trusted
+ * in-process streams (the transport-accounting path, which only ever
+ * reads back what it wrote), and the checked tryReadBits/tryReadVarint
+ * for untrusted input, which report underruns and malformed encodings
+ * instead of aborting. The referenced byte vector may grow between
+ * reads (streaming decoders push chunks into it); it must not shrink.
+ */
 class BitReader
 {
   public:
@@ -82,16 +106,9 @@ class BitReader
     std::uint64_t
     readBits(unsigned count)
     {
-        LBA_ASSERT(count <= 64, "cannot read more than 64 bits");
         std::uint64_t value = 0;
-        for (unsigned i = 0; i < count; ++i) {
-            std::size_t byte = pos_ / 8;
-            LBA_ASSERT(byte < bytes_.size(), "bit stream underrun");
-            if ((bytes_[byte] >> (pos_ % 8)) & 1) {
-                value |= 1ull << i;
-            }
-            ++pos_;
-        }
+        BitsResult result = tryReadBits(count, &value);
+        LBA_ASSERT(result == BitsResult::kOk, "bit stream underrun");
         return value;
     }
 
@@ -103,19 +120,86 @@ class BitReader
     readVarint()
     {
         std::uint64_t value = 0;
+        BitsResult result = tryReadVarint(&value);
+        LBA_ASSERT(result == BitsResult::kOk, "bad varint");
+        return value;
+    }
+
+    /**
+     * Checked read of @p count bits (count <= 64) into @p out.
+     * On kUnderrun the position is left unchanged and *out is
+     * unspecified.
+     */
+    BitsResult
+    tryReadBits(unsigned count, std::uint64_t* out)
+    {
+        LBA_ASSERT(count <= 64, "cannot read more than 64 bits");
+        if (pos_ + count > bytes_.size() * 8) {
+            return BitsResult::kUnderrun;
+        }
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < count; ++i) {
+            std::size_t byte = pos_ / 8;
+            if ((bytes_[byte] >> (pos_ % 8)) & 1) {
+                value |= 1ull << i;
+            }
+            ++pos_;
+        }
+        *out = value;
+        return BitsResult::kOk;
+    }
+
+    /** Checked read of one bit. */
+    BitsResult
+    tryReadBit(bool* out)
+    {
+        std::uint64_t value = 0;
+        BitsResult result = tryReadBits(1, &value);
+        if (result == BitsResult::kOk) *out = value != 0;
+        return result;
+    }
+
+    /**
+     * Checked varint read. A varint whose continuation groups extend
+     * past 64 value bits is kMalformed (an untrusted stream must not
+     * be able to spin this loop); the position is then unspecified and
+     * the caller is expected to seek back or abandon the stream.
+     */
+    BitsResult
+    tryReadVarint(std::uint64_t* out)
+    {
+        std::uint64_t value = 0;
         unsigned shift = 0;
         while (true) {
-            std::uint64_t group = readBits(8);
+            std::uint64_t group = 0;
+            BitsResult result = tryReadBits(8, &group);
+            if (result != BitsResult::kOk) return result;
             value |= (group & 0x7f) << shift;
             if (!(group & 0x80)) break;
             shift += 7;
-            LBA_ASSERT(shift < 64, "varint too long");
+            if (shift >= 64) return BitsResult::kMalformed;
         }
-        return value;
+        *out = value;
+        return BitsResult::kOk;
     }
 
     /** Bits consumed so far. */
     std::uint64_t bitPos() const { return pos_; }
+
+    /** Bits currently buffered beyond the read position. */
+    std::uint64_t
+    bitsAvailable() const
+    {
+        return bytes_.size() * 8 - pos_;
+    }
+
+    /** Rewind/seek to an absolute bit position (record rollback). */
+    void
+    seekBit(std::uint64_t pos)
+    {
+        LBA_ASSERT(pos <= bytes_.size() * 8, "seek past end");
+        pos_ = pos;
+    }
 
     /** True when every complete byte has been consumed. */
     bool exhausted() const { return pos_ >= bytes_.size() * 8; }

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Codec interface anchors and error-kind rendering.
+ */
+
+#include "compress/codec.h"
+
+namespace lba::compress {
+
+Encoder::~Encoder() = default;
+Decoder::~Decoder() = default;
+
+const char*
+decodeErrorKindName(DecodeErrorKind kind)
+{
+    switch (kind) {
+      case DecodeErrorKind::kNone:
+        return "ok";
+      case DecodeErrorKind::kTruncated:
+        return "truncated";
+      case DecodeErrorKind::kMalformed:
+        return "malformed";
+      case DecodeErrorKind::kLimitExceeded:
+        return "limit-exceeded";
+      case DecodeErrorKind::kUnsupported:
+        return "unsupported";
+      case DecodeErrorKind::kIo:
+        return "io";
+    }
+    return "unknown";
+}
+
+std::string
+DecodeError::toString() const
+{
+    if (ok()) return "ok";
+    return std::string(decodeErrorKindName(kind)) + " @" +
+           std::to_string(offset) + ": " + message;
+}
+
+} // namespace lba::compress

@@ -1,0 +1,202 @@
+#pragma once
+/**
+ * @file
+ * The codec abstraction of the compression subsystem: a uniform
+ * streaming Encoder/Decoder pair interface that every log codec
+ * implements, plus the typed error model for decoding untrusted input.
+ *
+ * Why a registry of codecs (compress/registry.h) instead of the one
+ * hard-wired predictor compressor: the inter-core log transport
+ * bandwidth bounds every lifeguard's slowdown (paper Section 2), and
+ * different record streams compress best under different models — the
+ * value-prediction codec wins on instruction streams, a dictionary
+ * codec on streams dominated by repeated records, and a plain
+ * varint-delta codec trades ratio for the cheapest host encode cost.
+ * The platform selects by name (LbaConfig::codec, `lba_run --codec`).
+ *
+ * Streaming contract. Encoders are push-record / pull-bytes:
+ *
+ *   encoder.append(record);                  // any number of times
+ *   n = encoder.pull(buf, max);              // drain finalized bytes
+ *   encoder.finishStream();                  // seal (flush partial byte)
+ *
+ * pull() may be called at any point, so a transport can ship
+ * partially-encoded streams without waiting for the end of the run;
+ * bytes become pullable as soon as they can no longer change (for
+ * bit-packed codecs, everything but the trailing partial byte).
+ *
+ * Decoders are push-bytes / pull-records, built for *untrusted* input:
+ *
+ *   decoder.push(chunk, n);                  // any chunking, any time
+ *   switch (decoder.next(&record)) { ... }   // kOk | kNeedMore | ...
+ *   decoder.finishInput();                   // no more bytes will come
+ *
+ * next() never aborts, never reads out of bounds, and never returns a
+ * half-applied record: a record that cannot be completed from the
+ * buffered bytes rolls the stream position back and returns kNeedMore
+ * (kError{kTruncated} once finishInput() was called), leaving the
+ * decoder state exactly as before the attempt. Malformed input —
+ * impossible flag sequences, out-of-range literals, overlong varints —
+ * yields a sticky kError with a typed DecodeError, not UB and not a
+ * panic. fuzz/ drives every implementation through these paths.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "log/event.h"
+
+namespace lba::compress {
+
+/** Why a decode failed (the typed, recoverable error model). */
+enum class DecodeErrorKind : std::uint8_t
+{
+    kNone = 0,
+    /** Input ended in the middle of a record. */
+    kTruncated,
+    /** Structurally invalid input (bad literal, impossible flag). */
+    kMalformed,
+    /** Well-formed input demanding absurd resources (length bombs). */
+    kLimitExceeded,
+    /** Unknown codec / version / container field. */
+    kUnsupported,
+    /** Underlying file or stream I/O failure. */
+    kIo,
+};
+
+/** Printable name of a DecodeErrorKind. */
+const char* decodeErrorKindName(DecodeErrorKind kind);
+
+/** A typed decode error: what went wrong, where, and a human message. */
+struct DecodeError
+{
+    DecodeErrorKind kind = DecodeErrorKind::kNone;
+    /** Byte offset into the encoded stream (best effort). */
+    std::uint64_t offset = 0;
+    std::string message;
+
+    bool ok() const { return kind == DecodeErrorKind::kNone; }
+
+    /** "kind @offset: message" for logs and CLI output. */
+    std::string toString() const;
+
+    static DecodeError
+    make(DecodeErrorKind kind, std::uint64_t offset, std::string message)
+    {
+        return DecodeError{kind, offset, std::move(message)};
+    }
+};
+
+/** Result of one Decoder::next() pull. */
+enum class DecodeStatus : std::uint8_t
+{
+    /** A record was decoded into *out. */
+    kOk = 0,
+    /** Clean end of stream (only sub-record padding bits remain). */
+    kEnd,
+    /** The buffered input does not contain a complete record yet. */
+    kNeedMore,
+    /** Decoding failed; see Decoder::error(). Sticky. */
+    kError,
+};
+
+/** Capability flags describing a codec's profile (CodecInfo::caps). */
+enum CodecCaps : unsigned
+{
+    /** Output is bit-granular (sub-byte records possible). */
+    kCapBitPacked = 1u << 0,
+    /** Output is byte-aligned (cheap encode/decode, larger). */
+    kCapByteAligned = 1u << 1,
+    /** Uses value predictors (history-dependent, best ratio). */
+    kCapPredictive = 1u << 2,
+    /** Uses a record dictionary (best on repeated-record streams). */
+    kCapDictionary = 1u << 3,
+    /**
+     * Round-trips only *capture-shaped* streams: records as the
+     * capture hardware emits them (derived fields canonical — see
+     * compress/record_gen.h). Codecs without this flag round-trip
+     * arbitrary EventRecords byte-exactly.
+     */
+    kCapCanonicalStreamsOnly = 1u << 4,
+};
+
+/**
+ * Streaming encoder: push records, pull finalized bytes.
+ *
+ * Implementations are deterministic — identical record streams yield
+ * identical bytes — which is what lets transport accounting charge
+ * exact per-record bit costs (core/pipeline_timer.h).
+ */
+class Encoder
+{
+  public:
+    virtual ~Encoder();
+
+    /** Compress one record onto the stream. */
+    virtual void append(const log::EventRecord& record) = 0;
+
+    /**
+     * Seal the stream: flush any partial trailing byte so every encoded
+     * byte becomes pullable. No append() after this.
+     */
+    virtual void finishStream() = 0;
+
+    /** Records compressed so far. */
+    virtual std::uint64_t records() const = 0;
+
+    /** Total encoded size so far, in bits (bandwidth accounting). */
+    virtual std::uint64_t bitsWritten() const = 0;
+
+    /**
+     * Copy up to @p max finalized encoded bytes into @p out and
+     * advance the pull cursor past them.
+     * @return Bytes copied (0 when nothing is finalized yet).
+     */
+    virtual std::size_t pull(std::uint8_t* out, std::size_t max) = 0;
+
+    /** Finalized bytes currently available to pull(). */
+    virtual std::size_t pullableBytes() const = 0;
+
+    /** Average encoded size, in bytes per record. */
+    double
+    bytesPerRecord() const
+    {
+        std::uint64_t n = records();
+        return n ? static_cast<double>(bitsWritten()) / 8.0 /
+                       static_cast<double>(n)
+                 : 0.0;
+    }
+};
+
+/**
+ * Streaming decoder over untrusted bytes: push chunks, pull records.
+ * See the file comment for the full contract; in short, next() either
+ * succeeds, asks for more input, reports a clean end, or returns a
+ * typed error — it never aborts and never leaves a half-applied
+ * record or predictor state.
+ */
+class Decoder
+{
+  public:
+    virtual ~Decoder();
+
+    /** Feed @p n more encoded bytes (any chunking, including n = 0). */
+    virtual void push(const std::uint8_t* data, std::size_t n) = 0;
+
+    /**
+     * Declare the input complete: a subsequent mid-record kNeedMore
+     * becomes kError{kTruncated}; a record-boundary end becomes kEnd.
+     */
+    virtual void finishInput() = 0;
+
+    /** Decode the next record. */
+    virtual DecodeStatus next(log::EventRecord* out) = 0;
+
+    /** The sticky error after a kError result. */
+    virtual const DecodeError& error() const = 0;
+
+    /** Records decoded so far. */
+    virtual std::uint64_t records() const = 0;
+};
+
+} // namespace lba::compress

@@ -161,92 +161,222 @@ EventRecord
 LogDecompressor::next()
 {
     EventRecord record;
-    bool annotation = reader_.readBit();
+    DecodeError error;
+    DecodeStatus status = tryNext(&record, &error);
+    LBA_ASSERT(status == DecodeStatus::kOk,
+               "corrupt record in trusted log stream");
+    return record;
+}
 
-    // Thread id.
-    if (reader_.readBit()) {
-        LBA_ASSERT(bank_.tid_seen, "tid hit before any tid literal");
+/**
+ * Map one checked read's result onto the record decode: break on
+ * success, roll back and ask for more input on underrun, fail typed
+ * on a malformed encoding. Local to tryNext (undefined right after).
+ */
+#define LBA_TRY_READ(expr, what)                                            \
+    switch (expr) {                                                         \
+      case BitsResult::kOk:                                                 \
+        break;                                                              \
+      case BitsResult::kUnderrun:                                           \
+        return needMore();                                                  \
+      case BitsResult::kMalformed:                                          \
+        return fail(what);                                                  \
+    }
+
+DecodeStatus
+LogDecompressor::tryNext(EventRecord* out, DecodeError* error)
+{
+    const std::uint64_t start = reader_.bitPos();
+    auto needMore = [&] {
+        reader_.seekBit(start);
+        return DecodeStatus::kNeedMore;
+    };
+    auto fail = [&](const char* message) {
+        if (error) {
+            *error = DecodeError::make(DecodeErrorKind::kMalformed,
+                                       reader_.bitPos() / 8, message);
+        }
+        reader_.seekBit(start);
+        return DecodeStatus::kError;
+    };
+
+    // Phase 1: read and validate every field against the *current*
+    // predictor bank. No bank mutation happens here, so any exit —
+    // kNeedMore or kError — leaves the decoder exactly as it was.
+    EventRecord record;
+    bool annotation = false;
+    LBA_TRY_READ(reader_.tryReadBit(&annotation), "kind bit");
+
+    bool tid_hit = false;
+    LBA_TRY_READ(reader_.tryReadBit(&tid_hit), "tid flag");
+    if (tid_hit) {
+        if (!bank_.tid_seen) {
+            return fail("tid hit before any tid literal");
+        }
         record.tid = bank_.last_tid;
     } else {
-        record.tid = static_cast<ThreadId>(reader_.readBits(16));
+        std::uint64_t tid = 0;
+        LBA_TRY_READ(reader_.tryReadBits(16, &tid), "tid literal");
+        record.tid = static_cast<ThreadId>(tid);
     }
-    bank_.last_tid = record.tid;
-    bank_.tid_seen = true;
 
     if (annotation) {
-        unsigned type_index = static_cast<unsigned>(reader_.readBits(3));
+        std::uint64_t type_index = 0;
+        LBA_TRY_READ(reader_.tryReadBits(3, &type_index),
+                     "annotation type");
         record.type = static_cast<EventType>(
-            static_cast<unsigned>(EventType::kAlloc) + type_index);
+            static_cast<unsigned>(EventType::kAlloc) +
+            static_cast<unsigned>(type_index));
+        std::uint64_t addr_delta = 0;
+        std::uint64_t aux_delta = 0;
+        LBA_TRY_READ(reader_.tryReadVarint(&addr_delta),
+                     "annotation addr varint");
+        LBA_TRY_READ(reader_.tryReadVarint(&aux_delta),
+                     "annotation aux varint");
         auto& last = bank_.annotation[type_index];
-        record.addr = zigzagApply(last.addr, reader_.readVarint());
-        record.aux = zigzagApply(last.aux, reader_.readVarint());
+        record.addr = zigzagApply(last.addr, addr_delta);
+        record.aux = zigzagApply(last.aux, aux_delta);
+
+        // Phase 2 (annotation): commit.
         last.addr = record.addr;
         last.aux = record.aux;
-        return record;
+        bank_.last_tid = record.tid;
+        bank_.tid_seen = true;
+        *out = record;
+        return DecodeStatus::kOk;
     }
 
     // Program counter.
-    if (!reader_.readBit()) {
-        record.pc = bank_.pc.resolve(record.tid,
-                                     PcPredictor::Source::kSequential);
-    } else if (!reader_.readBit()) {
-        record.pc =
-            bank_.pc.resolve(record.tid, PcPredictor::Source::kContext);
+    bool pc_nonseq = false;
+    LBA_TRY_READ(reader_.tryReadBit(&pc_nonseq), "pc flag");
+    if (!pc_nonseq) {
+        if (!bank_.pc.tryResolve(record.tid,
+                                 PcPredictor::Source::kSequential,
+                                 &record.pc)) {
+            return fail("sequential pc hit without predictor state");
+        }
     } else {
-        record.pc = zigzagApply(bank_.pc.missBase(record.tid),
-                                reader_.readVarint());
+        bool pc_miss = false;
+        LBA_TRY_READ(reader_.tryReadBit(&pc_miss), "pc flag");
+        if (!pc_miss) {
+            if (!bank_.pc.tryResolve(record.tid,
+                                     PcPredictor::Source::kContext,
+                                     &record.pc)) {
+                return fail("context pc hit without predictor state");
+            }
+        } else {
+            std::uint64_t delta = 0;
+            LBA_TRY_READ(reader_.tryReadVarint(&delta),
+                         "pc delta varint");
+            record.pc =
+                zigzagApply(bank_.pc.missBase(record.tid), delta);
+        }
     }
-    bank_.pc.update(record.tid, record.pc);
 
     // Static instruction fields.
-    if (reader_.readBit()) {
+    bool stat_hit = false;
+    LBA_TRY_READ(reader_.tryReadBit(&stat_hit), "static flag");
+    bool stat_update = false;
+    if (stat_hit) {
         const StaticInfo* info = bank_.stat.predict(record.pc);
-        LBA_ASSERT(info != nullptr, "static hit for unseen pc");
+        if (info == nullptr) return fail("static hit for unseen pc");
         record.opcode = info->opcode;
         record.rd = info->rd;
         record.rs1 = info->rs1;
         record.rs2 = info->rs2;
     } else {
-        record.opcode =
-            static_cast<std::uint8_t>(reader_.readBits(6));
-        record.rd = static_cast<std::uint8_t>(reader_.readBits(5));
-        record.rs1 = static_cast<std::uint8_t>(reader_.readBits(5));
-        record.rs2 = static_cast<std::uint8_t>(reader_.readBits(5));
-        bank_.stat.update(record.pc, StaticInfo{record.opcode, record.rd,
-                                                record.rs1, record.rs2});
+        std::uint64_t opcode = 0, rd = 0, rs1 = 0, rs2 = 0;
+        LBA_TRY_READ(reader_.tryReadBits(6, &opcode), "opcode literal");
+        LBA_TRY_READ(reader_.tryReadBits(5, &rd), "rd literal");
+        LBA_TRY_READ(reader_.tryReadBits(5, &rs1), "rs1 literal");
+        LBA_TRY_READ(reader_.tryReadBits(5, &rs2), "rs2 literal");
+        // The 6-bit field can carry values past the opcode table;
+        // classOf() on one of those is library-abort territory, so an
+        // untrusted stream must be stopped here.
+        if (opcode >=
+            static_cast<std::uint64_t>(isa::Opcode::kNumOpcodes)) {
+            return fail("opcode literal out of range");
+        }
+        record.opcode = static_cast<std::uint8_t>(opcode);
+        record.rd = static_cast<std::uint8_t>(rd);
+        record.rs1 = static_cast<std::uint8_t>(rs1);
+        record.rs2 = static_cast<std::uint8_t>(rs2);
+        stat_update = true;
     }
 
     auto op = static_cast<isa::Opcode>(record.opcode);
     auto cls = isa::classOf(op);
     record.type = log::eventTypeOf(cls);
 
+    bool mem_update = false;
+    bool ctrl_update = false;
     if (hasMemPayload(cls)) {
-        if (!reader_.readBit()) {
-            record.addr = bank_.mem_addr.resolve(
-                record.pc, StridePredictor::Source::kStride);
-        } else if (!reader_.readBit()) {
-            record.addr = bank_.mem_addr.resolve(
-                record.pc, StridePredictor::Source::kLast);
+        bool addr_nonstride = false;
+        LBA_TRY_READ(reader_.tryReadBit(&addr_nonstride), "addr flag");
+        if (!addr_nonstride) {
+            if (!bank_.mem_addr.tryResolve(
+                    record.pc, StridePredictor::Source::kStride,
+                    &record.addr)) {
+                return fail("stride hit without predictor state");
+            }
         } else {
-            record.addr = zigzagApply(bank_.mem_addr.missBase(record.pc),
-                                      reader_.readVarint());
+            bool addr_miss = false;
+            LBA_TRY_READ(reader_.tryReadBit(&addr_miss), "addr flag");
+            if (!addr_miss) {
+                if (!bank_.mem_addr.tryResolve(
+                        record.pc, StridePredictor::Source::kLast,
+                        &record.addr)) {
+                    return fail("last-addr hit without predictor state");
+                }
+            } else {
+                std::uint64_t delta = 0;
+                LBA_TRY_READ(reader_.tryReadVarint(&delta),
+                             "addr delta varint");
+                record.addr = zigzagApply(
+                    bank_.mem_addr.missBase(record.pc), delta);
+            }
         }
-        bank_.mem_addr.update(record.pc, record.addr);
+        mem_update = true;
         record.aux = isa::memAccessBytes(op);
     } else if (hasCtrlPayload(cls)) {
-        bool taken = reader_.readBit();
+        bool taken = false;
+        LBA_TRY_READ(reader_.tryReadBit(&taken), "taken flag");
         if (taken) {
             record.aux = 1;
-            if (reader_.readBit()) {
+            bool target_hit = false;
+            LBA_TRY_READ(reader_.tryReadBit(&target_hit),
+                         "target flag");
+            if (target_hit) {
+                // resolve() is total here (unseen pc yields 0), which
+                // matches what a conforming encoder would have stored.
                 record.addr = bank_.ctrl_target.resolve(record.pc);
             } else {
-                record.addr =
-                    zigzagApply(record.pc, reader_.readVarint());
+                std::uint64_t delta = 0;
+                LBA_TRY_READ(reader_.tryReadVarint(&delta),
+                             "target delta varint");
+                record.addr = zigzagApply(record.pc, delta);
             }
-            bank_.ctrl_target.update(record.pc, record.addr);
+            ctrl_update = true;
         }
     }
-    return record;
+
+    // Phase 2: every read succeeded — commit the bank updates in one
+    // block. Mirrors LogCompressor::append() verbatim (the predictor
+    // sync invariant), just batched at the end.
+    bank_.last_tid = record.tid;
+    bank_.tid_seen = true;
+    bank_.pc.update(record.tid, record.pc);
+    if (stat_update) {
+        bank_.stat.update(record.pc,
+                          StaticInfo{record.opcode, record.rd,
+                                     record.rs1, record.rs2});
+    }
+    if (mem_update) bank_.mem_addr.update(record.pc, record.addr);
+    if (ctrl_update) bank_.ctrl_target.update(record.pc, record.addr);
+    *out = record;
+    return DecodeStatus::kOk;
 }
+
+#undef LBA_TRY_READ
 
 } // namespace lba::compress

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "compress/bitstream.h"
+#include "compress/codec.h"
 #include "compress/predictors.h"
 #include "log/event.h"
 
@@ -112,15 +113,46 @@ class LogDecompressor
   public:
     /**
      * @param bytes Buffer produced by LogCompressor. The caller must know
-     *              the record count (the stream has no terminator).
+     *              the record count (the stream has no terminator). The
+     *              vector may grow between next()/tryNext() calls
+     *              (streaming push); it must not shrink.
      */
     explicit LogDecompressor(const std::vector<std::uint8_t>& bytes)
         : reader_(bytes)
     {
     }
 
-    /** Decode the next record. */
+    /**
+     * Decode the next record from a *trusted* stream (panics on a
+     * stream this compressor cannot have produced). The transport
+     * accounting path and the differential tests use this; anything
+     * that touches bytes from outside the process goes through
+     * tryNext().
+     */
     log::EventRecord next();
+
+    /**
+     * Hardened decode for untrusted streams. Never aborts and never
+     * half-applies: predictor-bank updates commit only after every
+     * field of the record has been read and validated.
+     *
+     * @return kOk with *out filled; kNeedMore when the buffered bytes
+     *         end mid-record (the read position rolls back to the
+     *         record boundary, so the caller can push more bytes and
+     *         retry); kError with *error filled when the stream is
+     *         structurally invalid — an impossible predictor hit, an
+     *         out-of-range opcode literal, or an overlong varint.
+     */
+    DecodeStatus tryNext(log::EventRecord* out, DecodeError* error);
+
+    /** Bits consumed so far (clean-end detection in the codec). */
+    std::uint64_t bitPos() const { return reader_.bitPos(); }
+
+    /** Bits currently buffered beyond the read position. */
+    std::uint64_t bitsAvailable() const
+    {
+        return reader_.bitsAvailable();
+    }
 
   private:
     PredictorBank bank_;

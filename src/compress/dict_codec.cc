@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Dictionary codec implementation. The FIFO slot discipline is the
+ * whole synchronization story: literals insert at next_slot_ on both
+ * sides, hits never reorder, so slot indices always mean the same
+ * thing to encoder and decoder.
+ */
+
+#include "compress/dict_codec.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace lba::compress {
+
+void
+DictEncoder::append(const log::EventRecord& record)
+{
+    ++records_;
+    DictKey key{record.pc,     record.tid, record.type, record.opcode,
+                record.rd,     record.rs1, record.rs2};
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        ++hits_;
+        writer_.writeBits(0x01, 8);
+        writer_.writeVarint(it->second);
+    } else {
+        writer_.writeBits(0x00, 8);
+        writer_.writeVarint(record.tid);
+        writer_.writeVarint(zigzagDelta(record.pc, last_pc_));
+        writer_.writeBits(static_cast<std::uint8_t>(record.type), 8);
+        writer_.writeBits(record.opcode, 8);
+        writer_.writeBits(record.rd, 8);
+        writer_.writeBits(record.rs1, 8);
+        writer_.writeBits(record.rs2, 8);
+        if (slots_.size() < kDictSlots) {
+            slots_.push_back(key);
+        } else {
+            index_.erase(slots_[next_slot_]);
+            slots_[next_slot_] = key;
+        }
+        index_.emplace(key, static_cast<std::uint32_t>(next_slot_));
+        next_slot_ = (next_slot_ + 1) % kDictSlots;
+    }
+    writer_.writeVarint(zigzagDelta(record.addr, last_addr_));
+    writer_.writeVarint(zigzagDelta(record.aux, last_aux_));
+    last_pc_ = record.pc;
+    last_addr_ = record.addr;
+    last_aux_ = record.aux;
+}
+
+std::size_t
+DictEncoder::pull(std::uint8_t* out, std::size_t max)
+{
+    std::size_t n = pullableBytes();
+    if (n > max) n = max;
+    if (n == 0) return 0;
+    std::memcpy(out, writer_.bytes().data() + pulled_, n);
+    pulled_ += n;
+    return n;
+}
+
+void
+DictDecoder::push(const std::uint8_t* data, std::size_t n)
+{
+    LBA_ASSERT(!input_done_, "push after finishInput");
+    buffer_.insert(buffer_.end(), data, data + n);
+}
+
+/** See compressor.cc — same checked-read dispatch, local to next(). */
+#define LBA_TRY_READ(expr, what)                                            \
+    switch (expr) {                                                         \
+      case BitsResult::kOk:                                                 \
+        break;                                                              \
+      case BitsResult::kUnderrun:                                           \
+        return needMore();                                                  \
+      case BitsResult::kMalformed:                                          \
+        return fail(what);                                                  \
+    }
+
+DecodeStatus
+DictDecoder::next(log::EventRecord* out)
+{
+    if (!error_.ok()) return DecodeStatus::kError;
+    const std::uint64_t start = reader_.bitPos();
+    if (reader_.bitsAvailable() == 0 && input_done_) {
+        return DecodeStatus::kEnd;
+    }
+    auto needMore = [&]() -> DecodeStatus {
+        reader_.seekBit(start);
+        if (!input_done_) return DecodeStatus::kNeedMore;
+        error_ = DecodeError::make(DecodeErrorKind::kTruncated,
+                                   start / 8, "input ends mid-record");
+        return DecodeStatus::kError;
+    };
+    auto fail = [&](const char* message) {
+        error_ = DecodeError::make(DecodeErrorKind::kMalformed,
+                                   reader_.bitPos() / 8, message);
+        reader_.seekBit(start);
+        return DecodeStatus::kError;
+    };
+
+    log::EventRecord record;
+    std::uint64_t control = 0;
+    LBA_TRY_READ(reader_.tryReadBits(8, &control), "control byte");
+    if (control & ~0x01ull) {
+        return fail("reserved control bits set");
+    }
+
+    DictKey key;
+    bool literal = !(control & 0x01);
+    if (literal) {
+        std::uint64_t tid = 0;
+        LBA_TRY_READ(reader_.tryReadVarint(&tid), "tid varint");
+        if (tid > 0xffff) return fail("tid out of range");
+        key.tid = static_cast<ThreadId>(tid);
+
+        std::uint64_t pc_delta = 0;
+        LBA_TRY_READ(reader_.tryReadVarint(&pc_delta), "pc varint");
+        key.pc = zigzagApply(last_pc_, pc_delta);
+
+        std::uint64_t type = 0;
+        LBA_TRY_READ(reader_.tryReadBits(8, &type), "type byte");
+        if (type >= log::kNumEventTypes) {
+            return fail("event type out of range");
+        }
+        key.type = static_cast<log::EventType>(type);
+
+        std::uint64_t opcode = 0, rd = 0, rs1 = 0, rs2 = 0;
+        LBA_TRY_READ(reader_.tryReadBits(8, &opcode), "opcode byte");
+        LBA_TRY_READ(reader_.tryReadBits(8, &rd), "rd byte");
+        LBA_TRY_READ(reader_.tryReadBits(8, &rs1), "rs1 byte");
+        LBA_TRY_READ(reader_.tryReadBits(8, &rs2), "rs2 byte");
+        key.opcode = static_cast<std::uint8_t>(opcode);
+        key.rd = static_cast<std::uint8_t>(rd);
+        key.rs1 = static_cast<std::uint8_t>(rs1);
+        key.rs2 = static_cast<std::uint8_t>(rs2);
+    } else {
+        std::uint64_t slot = 0;
+        LBA_TRY_READ(reader_.tryReadVarint(&slot), "slot varint");
+        if (slot >= slots_.size()) {
+            return fail("dictionary index out of range");
+        }
+        key = slots_[slot];
+    }
+
+    std::uint64_t addr_delta = 0, aux_delta = 0;
+    LBA_TRY_READ(reader_.tryReadVarint(&addr_delta), "addr varint");
+    LBA_TRY_READ(reader_.tryReadVarint(&aux_delta), "aux varint");
+
+    // All reads succeeded; commit dictionary and last-value state.
+    if (literal) {
+        if (slots_.size() < kDictSlots) {
+            slots_.push_back(key);
+        } else {
+            slots_[next_slot_] = key;
+        }
+        next_slot_ = (next_slot_ + 1) % kDictSlots;
+    }
+    record.pc = key.pc;
+    record.tid = key.tid;
+    record.type = key.type;
+    record.opcode = key.opcode;
+    record.rd = key.rd;
+    record.rs1 = key.rs1;
+    record.rs2 = key.rs2;
+    record.addr = zigzagApply(last_addr_, addr_delta);
+    record.aux = zigzagApply(last_aux_, aux_delta);
+    last_pc_ = record.pc;
+    last_addr_ = record.addr;
+    last_aux_ = record.aux;
+    ++records_;
+    *out = record;
+    return DecodeStatus::kOk;
+}
+
+#undef LBA_TRY_READ
+
+} // namespace lba::compress

@@ -1,0 +1,134 @@
+#pragma once
+/**
+ * @file
+ * The "dict" codec: a mirrored FIFO dictionary over the static part of
+ * each record (pc, tid, type, opcode, rd, rs1, rs2), with zigzag-delta
+ * varints for the dynamic addr/aux fields.
+ *
+ * Workload traces revisit the same static instructions constantly (loop
+ * bodies, hot functions), so after warm-up most records hit the
+ * dictionary and cost a control byte + a short index + two deltas. The
+ * dictionary is FIFO, not LRU — hits do not reorder entries — so the
+ * decoder reconstructs the table from literals alone and the two sides
+ * stay in lock-step without any extra signalling. Like the varint
+ * codec it round-trips arbitrary EventRecords byte-exactly.
+ *
+ * Stream grammar per record (all fields byte-aligned):
+ *   control   : 1 byte; bit0 = dictionary hit,
+ *               bits 1..7 reserved (must be zero — decoders reject)
+ *   hit       : varint slot index (< entries inserted so far, decoders
+ *               reject out-of-range indices)
+ *   literal   : varint tid, varint(zigzag(pc - last_pc)),
+ *               type byte (< log::kNumEventTypes), opcode/rd/rs1/rs2
+ *               literal bytes; the key is then inserted at the next
+ *               FIFO slot on both sides
+ *   both      : varint(zigzag(addr - last_addr)),
+ *               varint(zigzag(aux - last_aux))
+ * All last-values start at zero on both sides; the dictionary starts
+ * empty and holds at most kDictSlots entries (slot reuse is FIFO).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/bitstream.h"
+#include "compress/codec.h"
+
+namespace lba::compress {
+
+/** Number of dictionary slots (power of two; index varints stay <= 2B). */
+inline constexpr std::size_t kDictSlots = 4096;
+
+/** The static record fields the dictionary keys on. */
+struct DictKey
+{
+    Addr pc = 0;
+    ThreadId tid = 0;
+    log::EventType type = log::EventType::kNop;
+    std::uint8_t opcode = 0;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+
+    bool operator==(const DictKey&) const = default;
+};
+
+/** Hash for the encoder-side key -> slot map. */
+struct DictKeyHash
+{
+    std::size_t
+    operator()(const DictKey& key) const
+    {
+        // pc dominates; fold the small fields in with distinct shifts.
+        std::uint64_t h = key.pc * 0x9e3779b97f4a7c15ull;
+        h ^= static_cast<std::uint64_t>(key.tid) << 48;
+        h ^= static_cast<std::uint64_t>(key.type) << 40;
+        h ^= static_cast<std::uint64_t>(key.opcode) << 32;
+        h ^= static_cast<std::uint64_t>(key.rd) << 24;
+        h ^= static_cast<std::uint64_t>(key.rs1) << 16;
+        h ^= static_cast<std::uint64_t>(key.rs2) << 8;
+        return static_cast<std::size_t>(h ^ (h >> 32));
+    }
+};
+
+/** Streaming dictionary encoder. */
+class DictEncoder final : public Encoder
+{
+  public:
+    void append(const log::EventRecord& record) override;
+    void finishStream() override {}
+    std::uint64_t records() const override { return records_; }
+    std::uint64_t bitsWritten() const override
+    {
+        return writer_.bitCount();
+    }
+    std::size_t pull(std::uint8_t* out, std::size_t max) override;
+    std::size_t pullableBytes() const override
+    {
+        return writer_.bytes().size() - pulled_;
+    }
+
+    /** Dictionary hits so far (for the benches). */
+    std::uint64_t hits() const { return hits_; }
+
+  private:
+    BitWriter writer_;
+    std::vector<DictKey> slots_;
+    std::unordered_map<DictKey, std::uint32_t, DictKeyHash> index_;
+    std::size_t next_slot_ = 0;
+    Addr last_pc_ = 0;
+    Addr last_addr_ = 0;
+    std::uint64_t last_aux_ = 0;
+    std::uint64_t records_ = 0;
+    std::uint64_t hits_ = 0;
+    std::size_t pulled_ = 0;
+};
+
+/** Streaming hardened decoder for the dictionary grammar. */
+class DictDecoder final : public Decoder
+{
+  public:
+    DictDecoder() : reader_(buffer_) {}
+
+    void push(const std::uint8_t* data, std::size_t n) override;
+    void finishInput() override { input_done_ = true; }
+    DecodeStatus next(log::EventRecord* out) override;
+    const DecodeError& error() const override { return error_; }
+    std::uint64_t records() const override { return records_; }
+
+  private:
+    std::vector<std::uint8_t> buffer_;
+    BitReader reader_;
+    std::vector<DictKey> slots_;
+    std::size_t next_slot_ = 0;
+    Addr last_pc_ = 0;
+    Addr last_addr_ = 0;
+    std::uint64_t last_aux_ = 0;
+    DecodeError error_;
+    std::uint64_t records_ = 0;
+    bool input_done_ = false;
+};
+
+} // namespace lba::compress

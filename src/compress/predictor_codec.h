@@ -1,0 +1,70 @@
+#pragma once
+/**
+ * @file
+ * The value-prediction codec ("predictor") behind the streaming
+ * Encoder/Decoder interface — the platform default, and the codec the
+ * paper's < 1 byte/instruction claim is about.
+ *
+ * The wrapper delegates to LogCompressor/LogDecompressor untouched, so
+ * every bit count (and therefore every transport-accounting cycle) is
+ * identical to the pre-registry compressor; the differential tests
+ * assert this. The decode side rides LogDecompressor::tryNext(), the
+ * hardened two-phase path, so untrusted input yields typed errors.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "compress/codec.h"
+#include "compress/compressor.h"
+
+namespace lba::compress {
+
+/** Streaming encoder over LogCompressor. */
+class PredictorEncoder final : public Encoder
+{
+  public:
+    void append(const log::EventRecord& record) override
+    {
+        inner_.append(record);
+    }
+
+    void finishStream() override { finished_ = true; }
+
+    std::uint64_t records() const override { return inner_.records(); }
+    std::uint64_t bitsWritten() const override { return inner_.bits(); }
+
+    std::size_t pull(std::uint8_t* out, std::size_t max) override;
+    std::size_t pullableBytes() const override;
+
+    /** The wrapped compressor (FieldBits breakdown for the benches). */
+    const LogCompressor& inner() const { return inner_; }
+
+  private:
+    LogCompressor inner_;
+    /** Bytes already handed out through pull(). */
+    std::size_t pulled_ = 0;
+    bool finished_ = false;
+};
+
+/** Streaming hardened decoder over LogDecompressor::tryNext. */
+class PredictorDecoder final : public Decoder
+{
+  public:
+    PredictorDecoder() : inner_(buffer_) {}
+
+    void push(const std::uint8_t* data, std::size_t n) override;
+    void finishInput() override { input_done_ = true; }
+    DecodeStatus next(log::EventRecord* out) override;
+    const DecodeError& error() const override { return error_; }
+    std::uint64_t records() const override { return records_; }
+
+  private:
+    std::vector<std::uint8_t> buffer_;
+    LogDecompressor inner_;
+    DecodeError error_;
+    std::uint64_t records_ = 0;
+    bool input_done_ = false;
+};
+
+} // namespace lba::compress

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/assert.h"
 #include "common/types.h"
 #include "isa/isa.h"
 
@@ -56,12 +57,32 @@ class PcPredictor
     Addr
     resolve(ThreadId tid, Source source) const
     {
+        Addr out = 0;
+        LBA_ASSERT(tryResolve(tid, source, &out),
+                   "pc hit without predictor state");
+        return out;
+    }
+
+    /**
+     * Checked resolve for untrusted streams: false when the stream
+     * claims a hit the predictor bank cannot back (no last pc for the
+     * thread, or a context hit with no stored successor) — which a
+     * well-formed stream never does, so false means malformed input.
+     */
+    bool
+    tryResolve(ThreadId tid, Source source, Addr* out) const
+    {
         auto it = last_pc_.find(tid);
+        if (it == last_pc_.end()) return false;
         if (source == Source::kSequential) {
-            return it->second + isa::kInstrBytes;
+            *out = it->second + isa::kInstrBytes;
+            return true;
         }
         // kContext
-        return context_.at(it->second);
+        auto ctx = context_.find(it->second);
+        if (ctx == context_.end()) return false;
+        *out = ctx->second;
+        return true;
     }
 
     /** Delta base for encoding a miss (0 when @p tid is unseen). */
@@ -142,10 +163,24 @@ class StridePredictor
     Addr
     resolve(Addr pc, Source source) const
     {
-        const Entry& e = table_.at(pc);
-        return source == Source::kStride
+        Addr out = 0;
+        LBA_ASSERT(tryResolve(pc, source, &out),
+                   "stride hit without predictor state");
+        return out;
+    }
+
+    /** Checked resolve: false when @p pc has no entry (see
+     *  PcPredictor::tryResolve — false means malformed input). */
+    bool
+    tryResolve(Addr pc, Source source, Addr* out) const
+    {
+        auto it = table_.find(pc);
+        if (it == table_.end()) return false;
+        const Entry& e = it->second;
+        *out = source == Source::kStride
                    ? static_cast<Addr>(e.last + e.stride)
                    : e.last;
+        return true;
     }
 
     /** Base for delta-encoding a miss (0 when pc is unseen). */

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Codec registry and built-in codec registration.
+ */
+
+#include "compress/registry.h"
+
+#include "common/assert.h"
+#include "compress/dict_codec.h"
+#include "compress/predictor_codec.h"
+#include "compress/varint_codec.h"
+
+namespace lba::compress {
+
+CodecRegistry&
+CodecRegistry::instance()
+{
+    static CodecRegistry registry = [] {
+        CodecRegistry r;
+        r.add(CodecInfo{
+            "predictor",
+            "value-prediction bit-packed codec (paper default, "
+            "sub-byte/record on workload traces)",
+            kCapBitPacked | kCapPredictive | kCapCanonicalStreamsOnly,
+            [] { return std::make_unique<PredictorEncoder>(); },
+            [] { return std::make_unique<PredictorDecoder>(); },
+        });
+        r.add(CodecInfo{
+            "varint",
+            "byte-aligned zigzag-delta varint codec (cheapest "
+            "encode/decode, round-trips arbitrary records)",
+            kCapByteAligned,
+            [] { return std::make_unique<VarintEncoder>(); },
+            [] { return std::make_unique<VarintDecoder>(); },
+        });
+        r.add(CodecInfo{
+            "dict",
+            "FIFO dictionary over static record fields plus varint "
+            "deltas (good on loopy traces, arbitrary records)",
+            kCapByteAligned | kCapDictionary,
+            [] { return std::make_unique<DictEncoder>(); },
+            [] { return std::make_unique<DictDecoder>(); },
+        });
+        return r;
+    }();
+    return registry;
+}
+
+void
+CodecRegistry::add(CodecInfo info)
+{
+    LBA_ASSERT(!info.name.empty(), "codec name must be non-empty");
+    LBA_ASSERT(info.name.size() <= kMaxCodecNameBytes,
+               "codec name too long for the trace-file header");
+    LBA_ASSERT(find(info.name) == nullptr, "duplicate codec name");
+    LBA_ASSERT(info.makeEncoder && info.makeDecoder,
+               "codec factories must be set");
+    codecs_.push_back(std::move(info));
+}
+
+const CodecInfo*
+CodecRegistry::find(const std::string& name) const
+{
+    for (const CodecInfo& codec : codecs_) {
+        if (codec.name == name) return &codec;
+    }
+    return nullptr;
+}
+
+std::vector<std::string>
+CodecRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(codecs_.size());
+    for (const CodecInfo& codec : codecs_) out.push_back(codec.name);
+    return out;
+}
+
+} // namespace lba::compress

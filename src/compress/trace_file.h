@@ -11,18 +11,30 @@
  * generated once and replayed into lifeguards many times (tools/
  * lba_trace and tools/lba_run).
  *
- * Format (little-endian):
- *   bytes 0..7   magic "LBATRACE"
- *   bytes 8..11  format version (currently 1)
- *   bytes 12..19 record count
- *   bytes 20..27 payload byte count
- *   bytes 28..   LogCompressor output
+ * Format v2 (little-endian):
+ *   bytes 0..7    magic "LBATRACE"
+ *   bytes 8..11   format version (2)
+ *   bytes 12..19  record count
+ *   bytes 20..27  payload byte count
+ *   byte  28      codec name length L (1..kMaxCodecNameBytes)
+ *   bytes 29..    codec name (L bytes, printable ASCII, no NUL)
+ *   then          encoder output (payload byte count bytes, exactly)
+ * Version-1 files (no codec field, payload at byte 28) still read;
+ * they are always "predictor" streams.
+ *
+ * Trace files are *untrusted input*: every length is validated against
+ * the actual file size before any allocation, the record count is
+ * sanity-checked against the payload size, and the payload is decoded
+ * through the hardened streaming Decoder — a malformed or adversarial
+ * file yields a typed DecodeError, never UB or an abort.
  */
 
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "compress/codec.h"
+#include "compress/registry.h"
 #include "log/event.h"
 
 namespace lba::compress {
@@ -32,6 +44,10 @@ struct TraceInfo
 {
     std::uint64_t records = 0;
     std::uint64_t payload_bytes = 0;
+    /** Format version the file was written with (1 or 2). */
+    std::uint32_t version = 0;
+    /** Codec that encoded the payload ("predictor" for v1 files). */
+    std::string codec;
 
     /** Average compressed record size. */
     double
@@ -44,24 +60,29 @@ struct TraceInfo
 };
 
 /**
- * Write @p records to @p path in compressed trace format.
- * @return False on I/O failure (@p error describes it).
+ * Write @p records to @p path, encoded with the registered codec
+ * @p codec.
+ * @return False on I/O failure or unknown codec (@p error says which).
  */
 bool writeTrace(const std::string& path,
                 const std::vector<log::EventRecord>& records,
-                std::string* error = nullptr);
+                const std::string& codec = kDefaultCodec,
+                DecodeError* error = nullptr);
 
 /**
- * Read the header of a trace file without decoding the payload.
+ * Read and validate the header of a trace file without decoding the
+ * payload. The header's payload length is checked against the actual
+ * file size, so a successful TraceInfo never over-promises.
  */
 std::optional<TraceInfo> readTraceInfo(const std::string& path,
-                                       std::string* error = nullptr);
+                                       DecodeError* error = nullptr);
 
 /**
- * Load and decompress an entire trace file.
- * @return std::nullopt on I/O or format error.
+ * Load and decode an entire trace file.
+ * @return std::nullopt on I/O, format, or payload error (typed in
+ * @p error).
  */
 std::optional<std::vector<log::EventRecord>> readTrace(
-    const std::string& path, std::string* error = nullptr);
+    const std::string& path, DecodeError* error = nullptr);
 
 } // namespace lba::compress

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Varint-delta codec implementation. Encoder and decoder mirror each
+ * other's last-value updates exactly (same invariant as the predictor
+ * codec, with a far smaller state machine).
+ */
+
+#include "compress/varint_codec.h"
+
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace lba::compress {
+
+void
+VarintEncoder::append(const log::EventRecord& record)
+{
+    ++records_;
+    bool tid_same = record.tid == lasts_.tid;
+    writer_.writeBits(tid_same ? 0x01 : 0x00, 8);
+    if (!tid_same) writer_.writeVarint(record.tid);
+    writer_.writeVarint(zigzagDelta(record.pc, lasts_.pc));
+    writer_.writeBits(static_cast<std::uint8_t>(record.type), 8);
+    writer_.writeBits(record.opcode, 8);
+    writer_.writeBits(record.rd, 8);
+    writer_.writeBits(record.rs1, 8);
+    writer_.writeBits(record.rs2, 8);
+    writer_.writeVarint(zigzagDelta(record.addr, lasts_.addr));
+    writer_.writeVarint(zigzagDelta(record.aux, lasts_.aux));
+    lasts_.tid = record.tid;
+    lasts_.pc = record.pc;
+    lasts_.addr = record.addr;
+    lasts_.aux = record.aux;
+}
+
+std::size_t
+VarintEncoder::pull(std::uint8_t* out, std::size_t max)
+{
+    std::size_t n = pullableBytes();
+    if (n > max) n = max;
+    if (n == 0) return 0;
+    std::memcpy(out, writer_.bytes().data() + pulled_, n);
+    pulled_ += n;
+    return n;
+}
+
+void
+VarintDecoder::push(const std::uint8_t* data, std::size_t n)
+{
+    LBA_ASSERT(!input_done_, "push after finishInput");
+    buffer_.insert(buffer_.end(), data, data + n);
+}
+
+/** See compressor.cc — same checked-read dispatch, local to next(). */
+#define LBA_TRY_READ(expr, what)                                            \
+    switch (expr) {                                                         \
+      case BitsResult::kOk:                                                 \
+        break;                                                              \
+      case BitsResult::kUnderrun:                                           \
+        return needMore();                                                  \
+      case BitsResult::kMalformed:                                          \
+        return fail(what);                                                  \
+    }
+
+DecodeStatus
+VarintDecoder::next(log::EventRecord* out)
+{
+    if (!error_.ok()) return DecodeStatus::kError;
+    const std::uint64_t start = reader_.bitPos();
+    if (reader_.bitsAvailable() == 0 && input_done_) {
+        return DecodeStatus::kEnd;
+    }
+    auto needMore = [&]() -> DecodeStatus {
+        reader_.seekBit(start);
+        if (!input_done_) return DecodeStatus::kNeedMore;
+        error_ = DecodeError::make(DecodeErrorKind::kTruncated,
+                                   start / 8, "input ends mid-record");
+        return DecodeStatus::kError;
+    };
+    auto fail = [&](const char* message) {
+        error_ = DecodeError::make(DecodeErrorKind::kMalformed,
+                                   reader_.bitPos() / 8, message);
+        reader_.seekBit(start);
+        return DecodeStatus::kError;
+    };
+
+    log::EventRecord record;
+    std::uint64_t control = 0;
+    LBA_TRY_READ(reader_.tryReadBits(8, &control), "control byte");
+    if (control & ~0x01ull) {
+        return fail("reserved control bits set");
+    }
+    std::uint64_t tid = lasts_.tid;
+    if (!(control & 0x01)) {
+        LBA_TRY_READ(reader_.tryReadVarint(&tid), "tid varint");
+        if (tid > 0xffff) return fail("tid out of range");
+    }
+    record.tid = static_cast<ThreadId>(tid);
+
+    std::uint64_t pc_delta = 0;
+    LBA_TRY_READ(reader_.tryReadVarint(&pc_delta), "pc varint");
+    record.pc = zigzagApply(lasts_.pc, pc_delta);
+
+    std::uint64_t type = 0;
+    LBA_TRY_READ(reader_.tryReadBits(8, &type), "type byte");
+    if (type >= log::kNumEventTypes) {
+        return fail("event type out of range");
+    }
+    record.type = static_cast<log::EventType>(type);
+
+    std::uint64_t opcode = 0, rd = 0, rs1 = 0, rs2 = 0;
+    LBA_TRY_READ(reader_.tryReadBits(8, &opcode), "opcode byte");
+    LBA_TRY_READ(reader_.tryReadBits(8, &rd), "rd byte");
+    LBA_TRY_READ(reader_.tryReadBits(8, &rs1), "rs1 byte");
+    LBA_TRY_READ(reader_.tryReadBits(8, &rs2), "rs2 byte");
+    record.opcode = static_cast<std::uint8_t>(opcode);
+    record.rd = static_cast<std::uint8_t>(rd);
+    record.rs1 = static_cast<std::uint8_t>(rs1);
+    record.rs2 = static_cast<std::uint8_t>(rs2);
+
+    std::uint64_t addr_delta = 0, aux_delta = 0;
+    LBA_TRY_READ(reader_.tryReadVarint(&addr_delta), "addr varint");
+    LBA_TRY_READ(reader_.tryReadVarint(&aux_delta), "aux varint");
+    record.addr = zigzagApply(lasts_.addr, addr_delta);
+    record.aux = zigzagApply(lasts_.aux, aux_delta);
+
+    lasts_.tid = record.tid;
+    lasts_.pc = record.pc;
+    lasts_.addr = record.addr;
+    lasts_.aux = record.aux;
+    ++records_;
+    *out = record;
+    return DecodeStatus::kOk;
+}
+
+#undef LBA_TRY_READ
+
+} // namespace lba::compress

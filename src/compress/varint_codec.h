@@ -1,0 +1,90 @@
+#pragma once
+/**
+ * @file
+ * The "varint" codec: byte-aligned zigzag-delta LEB128 encoding of
+ * every record field against a small last-value state.
+ *
+ * Cost profile: the cheapest encode/decode in the registry — no hash
+ * maps, no predictor banks, just field deltas — at a worse ratio than
+ * the predictor codec (several bytes per record instead of sub-byte).
+ * It is the right choice when the host-side compression cost matters
+ * more than transport bandwidth, and it round-trips *arbitrary*
+ * EventRecords byte-exactly (no capture-shape requirement), so it is
+ * also the conservative archival choice for traces that did not come
+ * from the capture unit.
+ *
+ * Stream grammar per record (all fields byte-aligned):
+ *   control   : 1 byte; bit0 = tid equals previous record's tid,
+ *               bits 1..7 reserved (must be zero — decoders reject)
+ *   tid       : varint, only when control bit0 is clear
+ *   pc        : varint(zigzag(pc - last_pc))
+ *   type      : 1 byte (< log::kNumEventTypes, decoders reject others)
+ *   opcode,rd,rs1,rs2 : 1 byte each, literal
+ *   addr      : varint(zigzag(addr - last_addr))
+ *   aux       : varint(zigzag(aux - last_aux))
+ * All last-values start at zero on both sides.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "compress/bitstream.h"
+#include "compress/codec.h"
+
+namespace lba::compress {
+
+/** Last-value state shared by the varint encoder and decoder. */
+struct VarintLasts
+{
+    std::uint64_t tid = 0;
+    Addr pc = 0;
+    Addr addr = 0;
+    std::uint64_t aux = 0;
+};
+
+/** Streaming byte-aligned delta encoder. */
+class VarintEncoder final : public Encoder
+{
+  public:
+    void append(const log::EventRecord& record) override;
+    void finishStream() override {}
+    std::uint64_t records() const override { return records_; }
+    std::uint64_t bitsWritten() const override
+    {
+        return writer_.bitCount();
+    }
+    std::size_t pull(std::uint8_t* out, std::size_t max) override;
+    std::size_t pullableBytes() const override
+    {
+        return writer_.bytes().size() - pulled_;
+    }
+
+  private:
+    VarintLasts lasts_;
+    BitWriter writer_;
+    std::uint64_t records_ = 0;
+    std::size_t pulled_ = 0;
+};
+
+/** Streaming hardened decoder for the varint grammar. */
+class VarintDecoder final : public Decoder
+{
+  public:
+    VarintDecoder() : reader_(buffer_) {}
+
+    void push(const std::uint8_t* data, std::size_t n) override;
+    void finishInput() override { input_done_ = true; }
+    DecodeStatus next(log::EventRecord* out) override;
+    const DecodeError& error() const override { return error_; }
+    std::uint64_t records() const override { return records_; }
+
+  private:
+    std::vector<std::uint8_t> buffer_;
+    BitReader reader_;
+    VarintLasts lasts_;
+    DecodeError error_;
+    std::uint64_t records_ = 0;
+    bool input_done_ = false;
+};
+
+} // namespace lba::compress

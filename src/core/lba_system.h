@@ -87,9 +87,10 @@ class LbaSystem : public sim::RetireObserver
         return timer_.dispatchStats(0);
     }
 
-    const compress::LogCompressor& compressor() const
+    /** The run's log-stream encoder (LbaConfig::codec instance). */
+    const compress::Encoder& encoder() const
     {
-        return timer_.compressor();
+        return timer_.encoder();
     }
 
     lifeguard::Lifeguard&

@@ -80,11 +80,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/assert.h"
-#include "compress/compressor.h"
+#include "compress/registry.h"
 #include "core/threaded_executor.h"
 #include "lifeguard/dispatch.h"
 #include "log/log_buffer.h"
@@ -125,6 +126,14 @@ struct LbaConfig
     bool syscall_stall = true;
     /** Run the compressor for bandwidth accounting. */
     bool compress = true;
+    /**
+     * Registered codec encoding each producer's log stream for the
+     * bandwidth accounting (compress::CodecRegistry). The default,
+     * "predictor", is the paper's value-prediction compressor;
+     * alternatives trade ratio for host encode cost. Must name a
+     * registered codec.
+     */
+    std::string codec = compress::kDefaultCodec;
     /** Address-range record filter (paper Section 3 future work). */
     bool filter_enabled = false;
     Addr filter_base = 0;
@@ -192,6 +201,9 @@ struct LbaRunStats
     Cycles lifeguard_busy_cycles = 0;
     /** Compressed log size, bytes per logged record. */
     double bytes_per_record = 0.0;
+    /** Codec that produced bytes_per_record/transport_bytes (the
+     *  LbaConfig::codec of the run; set by seal()). */
+    std::string codec;
     /** Mean cycles between record production and consumption start. */
     double mean_consume_lag = 0.0;
     /** Number of syscalls that triggered a containment drain. */
@@ -425,10 +437,10 @@ class PipelineTimer
     Cycles laneTransportWaitCycles(unsigned lane) const
         LBA_COORDINATOR_ONLY;
 
-    /** Producer 0's compressor (the log stream of a single-app run). */
-    const compress::LogCompressor& compressor() const
+    /** Producer 0's log-stream encoder (single-app runs). */
+    const compress::Encoder& encoder() const
     {
-        return producers_.front().compressor;
+        return *producers_.front().encoder;
     }
 
   private:
@@ -467,8 +479,9 @@ class PipelineTimer
         bool pending_drain = false;
         /** Latest finish time over this producer's consumed records. */
         Cycles drain_clock = 0;
-        /** This producer's log stream (per-tenant compression state). */
-        compress::LogCompressor compressor;
+        /** This producer's log stream (per-tenant codec state, built
+         *  from LbaConfig::codec by the registry). */
+        std::unique_ptr<compress::Encoder> encoder;
         stats::Summary consume_lag;
         LbaRunStats stats;
     };
@@ -480,6 +493,9 @@ class PipelineTimer
                     const std::vector<lifeguard::Lifeguard*>& lifeguards,
                     const std::vector<LaneLimits>& lane_limits)
         LBA_COORDINATOR_ONLY;
+
+    /** Build a fresh per-producer encoder from LbaConfig::codec. */
+    std::unique_ptr<compress::Encoder> makeEncoder() const;
 
     /** True when the filter drops this record. */
     bool filtered(const log::EventRecord& record) const;

@@ -1,7 +1,9 @@
 /**
  * @file
- * Trace file I/O tests: round trips through disk, header inspection,
- * and error handling for malformed files.
+ * Trace file I/O tests: round trips through disk (per codec), header
+ * inspection, and a hand-written corpus of truncated/corrupt/
+ * adversarial files that must all decode to typed errors — never UB,
+ * never an abort, never an unbounded allocation.
  */
 
 #include <gtest/gtest.h>
@@ -9,6 +11,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "compress/registry.h"
 #include "compress/trace_file.h"
 #include "log/capture.h"
 #include "sim/process.h"
@@ -51,87 +54,304 @@ sampleTrace(std::size_t n)
     return trace;
 }
 
+std::string
+readFileBytes(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+}
+
+void
+writeFileBytes(const std::string& path, const std::string& bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/** A syntactically valid v2 header with the given fields. */
+std::string
+v2Header(std::uint64_t records, std::uint64_t payload_bytes,
+         const std::string& codec)
+{
+    std::string h = "LBATRACE";
+    h.push_back(2);
+    h.append(3, '\0');
+    for (int i = 0; i < 8; ++i) {
+        h.push_back(static_cast<char>(records >> (8 * i)));
+    }
+    for (int i = 0; i < 8; ++i) {
+        h.push_back(static_cast<char>(payload_bytes >> (8 * i)));
+    }
+    h.push_back(static_cast<char>(codec.size()));
+    h += codec;
+    return h;
+}
+
 TEST(TraceFile, RoundTripThroughDisk)
 {
     TempFile file("roundtrip.lbat");
     auto trace = sampleTrace(500);
-    std::string error;
-    ASSERT_TRUE(writeTrace(file.path(), trace, &error)) << error;
+    DecodeError error;
+    ASSERT_TRUE(writeTrace(file.path(), trace, kDefaultCodec, &error))
+        << error.toString();
 
     auto loaded = readTrace(file.path(), &error);
-    ASSERT_TRUE(loaded.has_value()) << error;
+    ASSERT_TRUE(loaded.has_value()) << error.toString();
     ASSERT_EQ(loaded->size(), trace.size());
     for (std::size_t i = 0; i < trace.size(); ++i) {
         EXPECT_EQ((*loaded)[i], trace[i]) << i;
     }
 }
 
+TEST(TraceFile, RoundTripsWithEveryRegisteredCodec)
+{
+    auto trace = sampleTrace(300);
+    for (const std::string& name : CodecRegistry::instance().names()) {
+        TempFile file("roundtrip_codec.lbat");
+        DecodeError error;
+        ASSERT_TRUE(writeTrace(file.path(), trace, name, &error))
+            << name << ": " << error.toString();
+        auto info = readTraceInfo(file.path());
+        ASSERT_TRUE(info.has_value()) << name;
+        EXPECT_EQ(info->codec, name);
+        EXPECT_EQ(info->version, 2u);
+        auto loaded = readTrace(file.path(), &error);
+        ASSERT_TRUE(loaded.has_value())
+            << name << ": " << error.toString();
+        EXPECT_EQ(*loaded, trace) << name;
+    }
+}
+
+TEST(TraceFile, WriteRejectsUnknownCodec)
+{
+    TempFile file("nocodec.lbat");
+    DecodeError error;
+    EXPECT_FALSE(
+        writeTrace(file.path(), sampleTrace(5), "no-such", &error));
+    EXPECT_EQ(error.kind, DecodeErrorKind::kUnsupported);
+}
+
 TEST(TraceFile, InfoReportsSizes)
 {
     TempFile file("info.lbat");
     auto trace = sampleTrace(1000);
-    ASSERT_TRUE(writeTrace(file.path(), trace, nullptr));
+    ASSERT_TRUE(writeTrace(file.path(), trace));
     auto info = readTraceInfo(file.path());
     ASSERT_TRUE(info.has_value());
     EXPECT_EQ(info->records, 1000u);
     EXPECT_GT(info->payload_bytes, 0u);
     EXPECT_LT(info->bytesPerRecord(), 2.0);
+    EXPECT_EQ(info->codec, "predictor");
 }
 
 TEST(TraceFile, EmptyTraceIsValid)
 {
     TempFile file("empty.lbat");
-    ASSERT_TRUE(writeTrace(file.path(), {}, nullptr));
+    ASSERT_TRUE(writeTrace(file.path(), {}));
     auto loaded = readTrace(file.path());
     ASSERT_TRUE(loaded.has_value());
     EXPECT_TRUE(loaded->empty());
 }
 
+TEST(TraceFile, ReadsVersion1Files)
+{
+    // v1 layout: fixed 28-byte header, predictor payload at byte 28.
+    TempFile file("v1.lbat");
+    auto trace = sampleTrace(50);
+    ASSERT_TRUE(writeTrace(file.path(), trace, "predictor"));
+    std::string bytes = readFileBytes(file.path());
+    std::string v1 = bytes.substr(0, 8);
+    v1.push_back(1);
+    v1.append(3, '\0');
+    v1 += bytes.substr(12, 16);           // counts, unchanged
+    v1 += bytes.substr(28 + 1 + 9);       // skip len byte + "predictor"
+    writeFileBytes(file.path(), v1);
+
+    auto info = readTraceInfo(file.path());
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->version, 1u);
+    EXPECT_EQ(info->codec, "predictor");
+    auto loaded = readTrace(file.path());
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, trace);
+}
+
 TEST(TraceFile, MissingFileFails)
 {
-    std::string error;
+    DecodeError error;
     EXPECT_FALSE(readTrace("/nonexistent/nowhere.lbat", &error)
                      .has_value());
-    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(error.kind, DecodeErrorKind::kIo);
 }
+
+// --- Corrupt corpus ------------------------------------------------
+// Every entry is a hand-built malformed file; the contract under test
+// is "typed error out, nothing worse".
 
 TEST(TraceFile, RejectsBadMagic)
 {
     TempFile file("bad.lbat");
-    std::ofstream out(file.path(), std::ios::binary);
-    out << "NOTATRACEFILE___________________";
-    out.close();
-    std::string error;
+    writeFileBytes(file.path(), "NOTATRACEFILE___________________");
+    DecodeError error;
     EXPECT_FALSE(readTraceInfo(file.path(), &error).has_value());
-    EXPECT_NE(error.find("not an LBA trace"), std::string::npos);
+    EXPECT_EQ(error.kind, DecodeErrorKind::kMalformed);
+    EXPECT_NE(error.message.find("not an LBA trace"),
+              std::string::npos);
 }
 
 TEST(TraceFile, RejectsTruncatedHeader)
 {
     TempFile file("short.lbat");
-    std::ofstream out(file.path(), std::ios::binary);
-    out << "LBAT";
-    out.close();
-    EXPECT_FALSE(readTraceInfo(file.path()).has_value());
+    writeFileBytes(file.path(), "LBAT");
+    DecodeError error;
+    EXPECT_FALSE(readTraceInfo(file.path(), &error).has_value());
+    EXPECT_EQ(error.kind, DecodeErrorKind::kTruncated);
+}
+
+TEST(TraceFile, RejectsUnsupportedVersion)
+{
+    TempFile file("badver.lbat");
+    std::string h = v2Header(0, 0, "predictor");
+    h[8] = 9;
+    writeFileBytes(file.path(), h);
+    DecodeError error;
+    EXPECT_FALSE(readTraceInfo(file.path(), &error).has_value());
+    EXPECT_EQ(error.kind, DecodeErrorKind::kUnsupported);
 }
 
 TEST(TraceFile, RejectsTruncatedPayload)
 {
     TempFile file("trunc.lbat");
     auto trace = sampleTrace(200);
-    ASSERT_TRUE(writeTrace(file.path(), trace, nullptr));
+    ASSERT_TRUE(writeTrace(file.path(), trace));
     // Chop the payload in half.
-    std::ifstream in(file.path(), std::ios::binary);
-    std::string bytes((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-    in.close();
-    std::ofstream out(file.path(), std::ios::binary | std::ios::trunc);
-    out.write(bytes.data(),
-              static_cast<std::streamsize>(28 + (bytes.size() - 28) / 2));
-    out.close();
-    std::string error;
+    std::string bytes = readFileBytes(file.path());
+    writeFileBytes(file.path(),
+                   bytes.substr(0, 38 + (bytes.size() - 38) / 2));
+    DecodeError error;
     EXPECT_FALSE(readTrace(file.path(), &error).has_value());
-    EXPECT_NE(error.find("truncated"), std::string::npos);
+    EXPECT_EQ(error.kind, DecodeErrorKind::kTruncated);
+    EXPECT_NE(error.message.find("truncated"), std::string::npos);
+}
+
+TEST(TraceFile, RejectsZeroLengthCodecName)
+{
+    TempFile file("zerocodec.lbat");
+    std::string h = v2Header(0, 0, "");
+    writeFileBytes(file.path(), h);
+    DecodeError error;
+    EXPECT_FALSE(readTraceInfo(file.path(), &error).has_value());
+    EXPECT_EQ(error.kind, DecodeErrorKind::kMalformed);
+}
+
+TEST(TraceFile, RejectsOversizedCodecNameLength)
+{
+    TempFile file("longcodec.lbat");
+    std::string h = v2Header(0, 0, "x");
+    h[28] = static_cast<char>(200); // length byte > kMaxCodecNameBytes
+    writeFileBytes(file.path(), h);
+    DecodeError error;
+    EXPECT_FALSE(readTraceInfo(file.path(), &error).has_value());
+    EXPECT_EQ(error.kind, DecodeErrorKind::kMalformed);
+}
+
+TEST(TraceFile, RejectsTruncatedCodecName)
+{
+    TempFile file("cutcodec.lbat");
+    std::string h = v2Header(0, 0, "predictor");
+    writeFileBytes(file.path(), h.substr(0, 31)); // mid-name cut
+    DecodeError error;
+    EXPECT_FALSE(readTraceInfo(file.path(), &error).has_value());
+    EXPECT_EQ(error.kind, DecodeErrorKind::kTruncated);
+}
+
+TEST(TraceFile, RejectsNonPrintableCodecName)
+{
+    TempFile file("bincodec.lbat");
+    std::string h = v2Header(0, 0, std::string("pre\x01ictor", 9));
+    writeFileBytes(file.path(), h);
+    DecodeError error;
+    EXPECT_FALSE(readTraceInfo(file.path(), &error).has_value());
+    EXPECT_EQ(error.kind, DecodeErrorKind::kMalformed);
+}
+
+TEST(TraceFile, RejectsUnknownCodecName)
+{
+    TempFile file("unkcodec.lbat");
+    writeFileBytes(file.path(), v2Header(0, 0, "mystery"));
+    DecodeError error;
+    EXPECT_FALSE(readTrace(file.path(), &error).has_value());
+    EXPECT_EQ(error.kind, DecodeErrorKind::kUnsupported);
+}
+
+TEST(TraceFile, RejectsPayloadLengthPastEndOfFile)
+{
+    // Header promises 2^40 payload bytes; the file holds four. The
+    // reader must refuse before allocating anything of that order.
+    TempFile file("bigpayload.lbat");
+    std::string h = v2Header(1, 1ull << 40, "predictor");
+    h += "ABCD";
+    writeFileBytes(file.path(), h);
+    DecodeError error;
+    EXPECT_FALSE(readTraceInfo(file.path(), &error).has_value());
+    EXPECT_EQ(error.kind, DecodeErrorKind::kTruncated);
+}
+
+TEST(TraceFile, RejectsTrailingBytesAfterPayload)
+{
+    TempFile file("trailing.lbat");
+    auto trace = sampleTrace(10);
+    ASSERT_TRUE(writeTrace(file.path(), trace));
+    writeFileBytes(file.path(), readFileBytes(file.path()) + "junk");
+    DecodeError error;
+    EXPECT_FALSE(readTrace(file.path(), &error).has_value());
+    EXPECT_EQ(error.kind, DecodeErrorKind::kMalformed);
+}
+
+TEST(TraceFile, RejectsAllocationBombRecordCount)
+{
+    // A tiny payload claiming ~2^60 records: the count guard must
+    // trip; reserve() must never see the huge number.
+    TempFile file("bomb.lbat");
+    std::string h = v2Header(1ull << 60, 4, "predictor");
+    h += std::string(4, '\0');
+    writeFileBytes(file.path(), h);
+    DecodeError error;
+    EXPECT_FALSE(readTrace(file.path(), &error).has_value());
+    EXPECT_EQ(error.kind, DecodeErrorKind::kLimitExceeded);
+}
+
+TEST(TraceFile, RejectsRecordCountPastPayloadContents)
+{
+    // Valid payload of 10 records, header claims 11: typed truncation.
+    TempFile file("overcount.lbat");
+    auto trace = sampleTrace(10);
+    ASSERT_TRUE(writeTrace(file.path(), trace));
+    std::string bytes = readFileBytes(file.path());
+    bytes[12] = 11;
+    writeFileBytes(file.path(), bytes);
+    DecodeError error;
+    EXPECT_FALSE(readTrace(file.path(), &error).has_value());
+    EXPECT_EQ(error.kind, DecodeErrorKind::kTruncated);
+}
+
+TEST(TraceFile, GarbagePayloadYieldsTypedError)
+{
+    // 64 bytes of adversarial non-record payload under each codec.
+    for (const std::string& name : CodecRegistry::instance().names()) {
+        TempFile file("garbage.lbat");
+        std::string payload;
+        for (int i = 0; i < 64; ++i) {
+            payload.push_back(static_cast<char>(0xff - i * 7));
+        }
+        std::string h = v2Header(40, payload.size(), name);
+        writeFileBytes(file.path(), h + payload);
+        DecodeError error;
+        EXPECT_FALSE(readTrace(file.path(), &error).has_value())
+            << name;
+        EXPECT_NE(error.kind, DecodeErrorKind::kNone) << name;
+    }
 }
 
 TEST(TraceFile, BenchmarkTraceRoundTrips)
@@ -146,7 +366,7 @@ TEST(TraceFile, BenchmarkTraceRoundTrips)
     process.load(generated.program);
     process.run(&capture);
 
-    ASSERT_TRUE(writeTrace(file.path(), trace, nullptr));
+    ASSERT_TRUE(writeTrace(file.path(), trace));
     auto info = readTraceInfo(file.path());
     ASSERT_TRUE(info.has_value());
     EXPECT_EQ(info->records, trace.size());

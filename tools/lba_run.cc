@@ -6,7 +6,7 @@
  * Usage:
  *   lba_run <benchmark> <addrcheck|taintcheck|lockset>
  *           [--instrs N] [--platform lba|dbi|both] [--shards N]
- *           [--transport-bw BYTES_PER_CYCLE]
+ *           [--transport-bw BYTES_PER_CYCLE] [--codec NAME]
  *           [--bugs uaf,double-free,leak,tainted-jump,race]
  *           [--tenants N] [--lanes M] [--sched static|rr|lag]
  *           [--containment abort|skip|patch|quarantine]
@@ -27,8 +27,10 @@
  * execution mode: `threaded` runs lifeguard handlers on one worker
  * thread per lane while every simulated cycle count stays bit-identical
  * to `serial` (docs/ARCHITECTURE.md "Threaded execution"); it requires
- * batched dispatch. --json writes a machine-readable copy of
- * the report to PATH.
+ * batched dispatch. --codec selects the registered log codec the
+ * transport accounting runs (`predictor` is the default; see
+ * `lba_trace codecs` for the registry). --json writes a
+ * machine-readable copy of the report to PATH.
  */
 
 #include <cstdio>
@@ -38,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "compress/registry.h"
 #include "core/runner.h"
 #include "lifeguards/addrcheck.h"
 #include "lifeguards/lockset.h"
@@ -61,6 +64,7 @@ usage()
         "<addrcheck|taintcheck|lockset>\n"
         "               [--instrs N] [--platform lba|dbi|both]\n"
         "               [--shards N] [--transport-bw BYTES_PER_CYCLE]\n"
+        "               [--codec NAME]\n"
         "               [--bugs uaf,double-free,leak,tainted-jump,race]\n"
         "               [--tenants N] [--lanes M] "
         "[--sched static|rr|lag]\n"
@@ -137,14 +141,16 @@ printResult(const core::PlatformResult& result)
                 static_cast<unsigned long long>(result.cycles),
                 result.slowdown);
     if (result.platform == "lba") {
-        std::printf("   (%.3f B/record, %llu drains)",
+        std::printf("   (%.3f B/record via %s, %llu drains)",
                     result.lba.bytes_per_record,
+                    result.lba.codec.c_str(),
                     static_cast<unsigned long long>(
                         result.lba.syscall_drains));
     }
     if (result.platform == "lba-parallel") {
-        std::printf("   (%.3f B/record, %llu drains)",
+        std::printf("   (%.3f B/record via %s, %llu drains)",
                     result.parallel.bytes_per_record,
+                    result.parallel.codec.c_str(),
                     static_cast<unsigned long long>(
                         result.parallel.syscall_drains));
     }
@@ -189,11 +195,16 @@ appendResultJson(stats::JsonWriter& json,
                static_cast<std::uint64_t>(result.findings.size()));
     if (result.platform == "lba") {
         json.field("bytes_per_record", result.lba.bytes_per_record);
+        json.field("codec", result.lba.codec);
+        json.field("transport_bytes", result.lba.transport_bytes);
         json.field("mean_consume_lag", result.lba.mean_consume_lag);
     }
     if (result.platform == "lba-parallel") {
         json.field("bytes_per_record",
                    result.parallel.bytes_per_record);
+        json.field("codec", result.parallel.codec);
+        json.field("transport_bytes",
+                   result.parallel.transport_bytes);
         json.field("shards",
                    static_cast<std::uint64_t>(
                        result.parallel.shard_busy_cycles.size()));
@@ -240,7 +251,8 @@ runMultiTenant(const std::vector<std::string>& benchmarks,
                const core::LifeguardFactory& factory,
                std::uint64_t instrs, unsigned tenants, unsigned lanes,
                sched::Policy policy, double transport_bw,
-               bool batched_dispatch, core::ExecutionMode execution,
+               const std::string& codec, bool batched_dispatch,
+               core::ExecutionMode execution,
                const workload::BugInjection& bugs,
                const replay::ContainmentConfig& containment,
                const std::string& json_path)
@@ -249,6 +261,7 @@ runMultiTenant(const std::vector<std::string>& benchmarks,
     config.lanes = lanes;
     config.policy = policy;
     config.lba.transport_bytes_per_cycle = transport_bw;
+    config.lba.codec = codec;
     config.lba.batched_dispatch = batched_dispatch;
     config.lba.execution = execution;
     config.containment = containment;
@@ -306,6 +319,7 @@ runMultiTenant(const std::vector<std::string>& benchmarks,
     json.field("tool", "lba_run");
     json.field("mode", "multi-tenant");
     json.field("lifeguard", lifeguard_name);
+    json.field("codec", codec);
     json.field("policy", result.policy);
     json.field("lanes", static_cast<std::uint64_t>(lanes));
     json.field("capacity_bytes_per_cycle",
@@ -329,6 +343,7 @@ runMultiTenant(const std::vector<std::string>& benchmarks,
         json.field("lag_p95", tenant.lag_p95);
         json.field("lag_p99", tenant.lag_p99);
         json.field("transport_bytes", tenant.lba.transport_bytes);
+        json.field("codec", tenant.lba.codec);
         json.field("findings",
                    static_cast<std::uint64_t>(tenant.findings.size()));
         if (tenant.containment_enabled) {
@@ -359,6 +374,7 @@ main(int argc, char** argv)
     unsigned lanes = 2;
     sched::Policy policy = sched::Policy::kStatic;
     double transport_bw = 0.0;
+    std::string codec = compress::kDefaultCodec;
     std::string json_path;
     workload::BugInjection bugs;
     replay::ContainmentConfig containment;
@@ -433,6 +449,8 @@ main(int argc, char** argv)
             if (!sched::parsePolicy(argv[++i], &policy)) return usage();
         } else if (arg == "--transport-bw" && i + 1 < argc) {
             transport_bw = std::strtod(argv[++i], nullptr);
+        } else if (arg == "--codec" && i + 1 < argc) {
+            codec = argv[++i];
         } else if (arg == "--containment" && i + 1 < argc) {
             containment.enabled = true;
             if (!replay::parseRepairPolicy(argv[++i],
@@ -481,6 +499,16 @@ main(int argc, char** argv)
                              "(--platform lba|both)\n");
         return usage();
     }
+    if (!compress::CodecRegistry::instance().find(codec)) {
+        std::fprintf(stderr, "unknown codec '%s'; registered:",
+                     codec.c_str());
+        for (const std::string& name :
+             compress::CodecRegistry::instance().names()) {
+            std::fprintf(stderr, " %s", name.c_str());
+        }
+        std::fprintf(stderr, "\n");
+        return usage();
+    }
 
     core::LifeguardFactory factory;
     if (lifeguard_name == "addrcheck") {
@@ -507,8 +535,8 @@ main(int argc, char** argv)
         if (benchmarks.empty()) return usage();
         return runMultiTenant(benchmarks, lifeguard_name, factory,
                               instrs, tenants, lanes, policy,
-                              transport_bw, batched_dispatch, execution,
-                              bugs, containment, json_path);
+                              transport_bw, codec, batched_dispatch,
+                              execution, bugs, containment, json_path);
     }
 
     const workload::Profile* profile = workload::findProfile(benchmark);
@@ -523,6 +551,7 @@ main(int argc, char** argv)
     // The parallel platform inherits the same knob through
     // Experiment::runParallelLba (one timing engine under both).
     config.lba.transport_bytes_per_cycle = transport_bw;
+    config.lba.codec = codec;
     config.lba.batched_dispatch = batched_dispatch;
     config.lba.execution = execution;
     config.containment = containment;
@@ -557,6 +586,7 @@ main(int argc, char** argv)
     json.field("mode", "single");
     json.field("benchmark", benchmark);
     json.field("lifeguard", lifeguard_name);
+    json.field("codec", codec);
     json.key("results");
     json.beginArray();
     for (const core::PlatformResult& result : results) {

@@ -5,17 +5,20 @@
  * compressed event trace, or inspect/dump an existing trace file.
  *
  * Usage:
- *   lba_trace gen <benchmark> <out.lbat> [instructions]
+ *   lba_trace gen <benchmark> <out.lbat> [instructions] [--codec name]
  *   lba_trace info <trace.lbat>
  *   lba_trace dump <trace.lbat> [count]
  *   lba_trace list
+ *   lba_trace codecs
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "compress/registry.h"
 #include "compress/trace_file.h"
 #include "log/capture.h"
 #include "sim/process.h"
@@ -31,10 +34,12 @@ usage()
 {
     std::fprintf(stderr,
                  "usage:\n"
-                 "  lba_trace gen <benchmark> <out.lbat> [instructions]\n"
+                 "  lba_trace gen <benchmark> <out.lbat> [instructions]"
+                 " [--codec name]\n"
                  "  lba_trace info <trace.lbat>\n"
                  "  lba_trace dump <trace.lbat> [count]\n"
-                 "  lba_trace list\n");
+                 "  lba_trace list\n"
+                 "  lba_trace codecs\n");
     return 2;
 }
 
@@ -52,8 +57,22 @@ cmdList()
 }
 
 int
+cmdCodecs()
+{
+    std::printf("registered codecs:\n");
+    auto& registry = compress::CodecRegistry::instance();
+    for (const std::string& name : registry.names()) {
+        const compress::CodecInfo* info = registry.find(name);
+        std::printf("  %-10s %s%s\n", name.c_str(),
+                    info->description.c_str(),
+                    name == compress::kDefaultCodec ? " [default]" : "");
+    }
+    return 0;
+}
+
+int
 cmdGen(const std::string& benchmark, const std::string& path,
-       std::uint64_t instructions)
+       std::uint64_t instructions, const std::string& codec)
 {
     const workload::Profile* profile = workload::findProfile(benchmark);
     if (!profile) {
@@ -73,28 +92,32 @@ cmdGen(const std::string& benchmark, const std::string& path,
                              "completion\n");
     }
 
-    std::string error;
-    if (!compress::writeTrace(path, records, &error)) {
-        std::fprintf(stderr, "write failed: %s\n", error.c_str());
+    compress::DecodeError error;
+    if (!compress::writeTrace(path, records, codec, &error)) {
+        std::fprintf(stderr, "write failed: %s\n",
+                     error.toString().c_str());
         return 1;
     }
     auto info = compress::readTraceInfo(path, &error);
-    std::printf("%s: %llu records, %.3f bytes/record compressed\n",
+    std::printf("%s: %llu records, codec %s, %.3f bytes/record "
+                "compressed\n",
                 path.c_str(),
                 static_cast<unsigned long long>(records.size()),
-                info ? info->bytesPerRecord() : 0.0);
+                codec.c_str(), info ? info->bytesPerRecord() : 0.0);
     return 0;
 }
 
 int
 cmdInfo(const std::string& path)
 {
-    std::string error;
+    compress::DecodeError error;
     auto info = compress::readTraceInfo(path, &error);
     if (!info) {
-        std::fprintf(stderr, "%s\n", error.c_str());
+        std::fprintf(stderr, "%s\n", error.toString().c_str());
         return 1;
     }
+    std::printf("version        : %u\n", info->version);
+    std::printf("codec          : %s\n", info->codec.c_str());
     std::printf("records        : %llu\n",
                 static_cast<unsigned long long>(info->records));
     std::printf("payload bytes  : %llu\n",
@@ -107,10 +130,10 @@ cmdInfo(const std::string& path)
 int
 cmdDump(const std::string& path, std::uint64_t count)
 {
-    std::string error;
+    compress::DecodeError error;
     auto records = compress::readTrace(path, &error);
     if (!records) {
-        std::fprintf(stderr, "%s\n", error.c_str());
+        std::fprintf(stderr, "%s\n", error.toString().c_str());
         return 1;
     }
     std::uint64_t n = std::min<std::uint64_t>(count, records->size());
@@ -131,19 +154,44 @@ cmdDump(const std::string& path, std::uint64_t count)
 int
 main(int argc, char** argv)
 {
-    if (argc < 2) return usage();
-    std::string cmd = argv[1];
-    if (cmd == "list") return cmdList();
-    if (cmd == "gen" && (argc == 4 || argc == 5)) {
-        std::uint64_t instrs =
-            argc == 5 ? std::strtoull(argv[4], nullptr, 10) : 250000;
-        return cmdGen(argv[2], argv[3], instrs ? instrs : 250000);
+    std::vector<std::string> args(argv + 1, argv + argc);
+
+    // Extract --codec wherever it appears; positional args remain.
+    std::string codec = compress::kDefaultCodec;
+    for (std::size_t i = 0; i < args.size();) {
+        if (args[i] == "--codec" && i + 1 < args.size()) {
+            codec = args[i + 1];
+            args.erase(args.begin() + static_cast<long>(i),
+                       args.begin() + static_cast<long>(i) + 2);
+        } else {
+            ++i;
+        }
     }
-    if (cmd == "info" && argc == 3) return cmdInfo(argv[2]);
-    if (cmd == "dump" && (argc == 3 || argc == 4)) {
+    if (!compress::CodecRegistry::instance().find(codec)) {
+        std::fprintf(stderr, "unknown codec '%s' (try: codecs)\n",
+                     codec.c_str());
+        return 2;
+    }
+
+    if (args.empty()) return usage();
+    const std::string& cmd = args[0];
+    if (cmd == "list") return cmdList();
+    if (cmd == "codecs") return cmdCodecs();
+    if (cmd == "gen" && (args.size() == 3 || args.size() == 4)) {
+        std::uint64_t instrs =
+            args.size() == 4
+                ? std::strtoull(args[3].c_str(), nullptr, 10)
+                : 250000;
+        return cmdGen(args[1], args[2], instrs ? instrs : 250000,
+                      codec);
+    }
+    if (cmd == "info" && args.size() == 2) return cmdInfo(args[1]);
+    if (cmd == "dump" && (args.size() == 2 || args.size() == 3)) {
         std::uint64_t count =
-            argc == 4 ? std::strtoull(argv[3], nullptr, 10) : 20;
-        return cmdDump(argv[2], count);
+            args.size() == 3
+                ? std::strtoull(args[2].c_str(), nullptr, 10)
+                : 20;
+        return cmdDump(args[1], count);
     }
     return usage();
 }

@@ -1,19 +1,22 @@
 /**
  * @file
  * Microbenchmark MICRO-DISPATCH: host-side record-dispatch throughput
- * of the lifeguard core, batched handler-table dispatch vs the
- * retained per-record virtual path.
+ * of the lifeguard core across the three dispatch tiers — per-record
+ * virtual, batched handler table, and fused compiled-IR loops.
  *
- * The simulated cost of a record is identical on both paths (the
- * cycle-identity invariant, tests/dispatch_batch_test.cpp); what this
- * bench measures is how fast the *host* pushes records through the
- * dispatch engine — the hot loop every experiment, tenant and ablation
- * in this tree funnels through. The per-record path pops the log
- * buffer one entry at a time and dispatches through the virtual
- * handleEvent(); the batched path drains contiguous spans
- * (LogBuffer::frontSpan / popN) through the per-event-type handler
- * table (DispatchEngine::consumeBatch). This is the software analogue
- * of the paper's `nlba` argument: dispatch overhead per event is what
+ * The simulated cost of a record is identical on every tier (the
+ * cycle-identity invariant, tests/dispatch_batch_test.cpp and
+ * tests/dispatch_fused_test.cpp); what this bench measures is how fast
+ * the *host* pushes records through the dispatch engine — the hot loop
+ * every experiment, tenant and ablation in this tree funnels through.
+ * The per-record tier pops the log buffer one entry at a time and
+ * dispatches through the virtual handleEvent(); the batched tier
+ * drains contiguous spans (LogBuffer::frontSpan / popN) through the
+ * per-event-type handler table (DispatchEngine::consumeBatch); the
+ * fused tier drains the same spans through loops compiled from the
+ * lifeguard's handler IR (DispatchEngine::consumeBatchFused) — no
+ * per-record indirect call at all. This is the software analogue of
+ * the paper's `nlba` argument: dispatch overhead per event is what
  * software-only monitors pay and LBA's handler-table jump eliminates.
  *
  * Rows: a *dispatch-skeleton* lifeguard (trivial handlers, so the
@@ -29,11 +32,14 @@
  * per thread count, with the scaling factor over 1 thread.
  *
  * Claim checks (exit code 1 on a miss): batched dispatch must be
- * >= 1.3x the per-record records/sec on the dispatch-skeleton row, and
- * 4 worker threads must scale the skeleton drain >= 1.5x over 1 thread
- * (skipped, not failed, on hosts with fewer than 4 hardware threads —
- * there is nothing to scale onto). The lifeguard rows are reported for
- * the perf trajectory. Results land in BENCH_results.json via --json
+ * >= 1.3x the per-record records/sec on the dispatch-skeleton row,
+ * fused must be >= 2.0x batched on the same row (the skeleton's IR is
+ * pure constant charges, so the fused drain is the bulk loop — the
+ * machinery the tier exists for), and 4 worker threads must scale the
+ * skeleton drain >= 1.5x over 1 thread (skipped, not failed, on hosts
+ * with fewer than 4 hardware threads — there is nothing to scale
+ * onto). The lifeguard rows are reported for the perf trajectory.
+ * Results land in BENCH_results.json via --json
  * (scripts/run_all_benches.sh); see docs/BENCHMARKS.md for the row
  * schema.
  */
@@ -80,9 +86,20 @@ class DispatchSkeleton : public lifeguard::Lifeguard
     {
         onEvent<&DispatchSkeleton::onAccess>(log::EventType::kLoad);
         onEvent<&DispatchSkeleton::onAccess>(log::EventType::kStore);
+        // IR mirror: a constant 1-instruction charge, no state — the
+        // compiler classifies both programs kConst, so the fused drain
+        // is the bulk constant-cost loop.
+        ir_.define(log::EventType::kLoad).charge(1);
+        ir_.define(log::EventType::kStore).charge(1);
     }
 
     const char* name() const override { return "DispatchSkeleton"; }
+
+    const lifeguard::ir::LifeguardIR*
+    handlerIR() const override
+    {
+        return &ir_;
+    }
 
   private:
     void
@@ -90,9 +107,19 @@ class DispatchSkeleton : public lifeguard::Lifeguard
     {
         cost.instrs(1);
     }
+
+    lifeguard::ir::LifeguardIR ir_;
 };
 
 constexpr std::size_t kChunk = 1024;
+
+/** Which dispatch tier the drain loop exercises. */
+enum class Mode
+{
+    kPerRecord,
+    kBatched,
+    kFused,
+};
 
 /**
  * Drain @p passes copies of @p stream through a fresh engine.
@@ -100,8 +127,7 @@ constexpr std::size_t kChunk = 1024;
  */
 double
 drain(const std::vector<log::EventRecord>& stream,
-      const core::LifeguardFactory& factory, unsigned passes,
-      bool batched)
+      const core::LifeguardFactory& factory, unsigned passes, Mode mode)
 {
     auto guard = factory();
     mem::CacheHierarchy hierarchy(mem::HierarchyConfig{});
@@ -120,7 +146,13 @@ drain(const std::vector<log::EventRecord>& stream,
                 buffer.push(stream[i + k], 0);
             }
             auto start = std::chrono::steady_clock::now();
-            if (batched) {
+            if (mode == Mode::kFused) {
+                while (!buffer.empty()) {
+                    auto span = buffer.frontSpan(kChunk);
+                    engine.consumeBatchFused(span);
+                    buffer.popN(span.size());
+                }
+            } else if (mode == Mode::kBatched) {
                 while (!buffer.empty()) {
                     auto span = buffer.frontSpan(kChunk);
                     engine.consumeBatch(span);
@@ -144,13 +176,13 @@ drain(const std::vector<log::EventRecord>& stream,
 /** Repeat until the slower path has run at least ~0.2 s. */
 double
 recordsPerSecond(const std::vector<log::EventRecord>& stream,
-                 const core::LifeguardFactory& factory, bool batched)
+                 const core::LifeguardFactory& factory, Mode mode)
 {
-    drain(stream, factory, 1, batched); // warm the host caches/JIT-ish
+    drain(stream, factory, 1, mode); // warm the host caches/JIT-ish
     unsigned passes = 1;
     double seconds = 0.0;
     for (;;) {
-        seconds = drain(stream, factory, passes, batched);
+        seconds = drain(stream, factory, passes, mode);
         if (seconds >= 0.2 || passes >= 1u << 14) break;
         passes *= 4;
     }
@@ -257,31 +289,43 @@ main(int argc, char** argv)
         {"LockSet", "water", bench::makeLockSet()},
     };
 
-    std::printf("Micro: host dispatch throughput, batched handler "
-                "table vs per-record virtual dispatch\n");
-    std::printf("(simulated cycles are identical on both paths; this "
+    std::printf("Micro: host dispatch throughput across the three "
+                "dispatch tiers\n");
+    std::printf("(simulated cycles are identical on every tier; this "
                 "is host records/sec)\n\n");
     stats::Table table({"lifeguard", "records", "per-record rec/s",
-                        "batched rec/s", "speedup"});
+                        "batched rec/s", "fused rec/s", "batched/per",
+                        "fused/batched"});
 
     double skeleton_speedup = 0.0;
+    double skeleton_fused_speedup = 0.0;
     for (const Row& row : rows) {
         auto stream = captureStream(row.profile, instrs);
-        double per_record = recordsPerSecond(stream, row.factory, false);
-        double batched = recordsPerSecond(stream, row.factory, true);
+        double per_record =
+            recordsPerSecond(stream, row.factory, Mode::kPerRecord);
+        double batched =
+            recordsPerSecond(stream, row.factory, Mode::kBatched);
+        double fused =
+            recordsPerSecond(stream, row.factory, Mode::kFused);
         double speedup = batched / per_record;
+        double fused_speedup = fused / batched;
         if (std::string_view(row.lifeguard) == "dispatch-skeleton") {
             skeleton_speedup = speedup;
+            skeleton_fused_speedup = fused_speedup;
         }
         table.addRow({row.lifeguard, std::to_string(stream.size()),
                       stats::formatDouble(per_record / 1e6, 2) + "M",
                       stats::formatDouble(batched / 1e6, 2) + "M",
-                      stats::formatDouble(speedup, 2) + "x"});
+                      stats::formatDouble(fused / 1e6, 2) + "M",
+                      stats::formatDouble(speedup, 2) + "x",
+                      stats::formatDouble(fused_speedup, 2) + "x"});
     }
 
     std::printf("%s\n", table.toString().c_str());
-    std::printf("dispatch-skeleton speedup: %.2fx (target >= 1.30x)\n",
-                skeleton_speedup);
+    std::printf("dispatch-skeleton speedup: batched %.2fx over "
+                "per-record (target >= 1.30x), fused %.2fx over "
+                "batched (target >= 2.00x)\n",
+                skeleton_speedup, skeleton_fused_speedup);
     report.addTable("dispatch_throughput", table);
 
     // Threaded scaling: one lane (ring + engine) per worker thread,
@@ -321,6 +365,10 @@ main(int argc, char** argv)
     claim.addRow({"batched dispatch speedup (skeleton)",
                   stats::formatDouble(skeleton_speedup, 2) + "x",
                   ">= 1.30x", ok ? "yes" : "NO"});
+    bool fused_ok = skeleton_fused_speedup >= 2.0;
+    claim.addRow({"fused over batched (skeleton)",
+                  stats::formatDouble(skeleton_fused_speedup, 2) + "x",
+                  ">= 2.00x", fused_ok ? "yes" : "NO"});
     // The scaling claim needs 4 hardware threads to be meaningful; on
     // smaller hosts it is reported as skipped, not failed.
     bool scaling_measured = scaling_at_4 > 0.0 && hw >= 4;
@@ -337,6 +385,13 @@ main(int argc, char** argv)
         std::fprintf(stderr,
                      "claim missed: batched dispatch %.2fx < 1.3x\n",
                      skeleton_speedup);
+        return 1;
+    }
+    if (!fused_ok) {
+        std::fprintf(stderr,
+                     "claim missed: fused dispatch %.2fx < 2.0x over "
+                     "batched\n",
+                     skeleton_fused_speedup);
         return 1;
     }
     if (!scaling_ok) {

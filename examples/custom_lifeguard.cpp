@@ -128,7 +128,7 @@ main()
     // report the same findings in the same cycles (the cycle-identity
     // invariant the batched handler table is built on).
     core::LbaConfig per_record = experiment.config().lba;
-    per_record.batched_dispatch = false;
+    per_record.dispatch_tier = core::DispatchTier::kPerRecord;
     auto baseline = experiment.runLba(factory, per_record);
     if (baseline.cycles != result.cycles ||
         baseline.findings.size() != result.findings.size() ||

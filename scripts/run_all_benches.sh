@@ -9,6 +9,10 @@
 # instruction budgets legitimately miss paper targets before
 # predictors and caches warm up) — CI uses this to keep the
 # BENCH_results.json trajectory accumulating on every push.
+# LBA_BENCH_CLAIMS_FATAL=1 overrides that forgiveness: a missed claim
+# fails the run even in smoke mode — for claims that hold at any
+# instruction budget (host-side speedup ratios like micro_dispatch's
+# dispatch-tier rows, which compare code paths on the same input).
 set -eu
 
 build_dir="${1:-build}"
@@ -106,6 +110,10 @@ if [ -n "$crashed" ]; then
 fi
 if [ -n "$failed" ]; then
     echo "claim checks missed:$failed" >&2
+    if [ "${LBA_BENCH_CLAIMS_FATAL:-}" = 1 ]; then
+        echo "claims-fatal mode: failing the run" >&2
+        exit 1
+    fi
     if [ "${LBA_BENCH_SMOKE:-}" = 1 ]; then
         echo "smoke mode: not failing the run" >&2
         exit 0

@@ -85,9 +85,10 @@ PipelineTimer::buildLanes(
     producers_.push_back(std::move(primary));
 
     if (config_.execution == ExecutionMode::kThreaded) {
-        LBA_ASSERT(config_.batched_dispatch,
-                   "threaded execution requires batched dispatch (its "
-                   "flush boundaries are the cross-thread barriers)");
+        LBA_ASSERT(config_.dispatch_tier != DispatchTier::kPerRecord,
+                   "threaded execution requires a batching dispatch "
+                   "tier (its flush boundaries are the cross-thread "
+                   "barriers)");
         coordinator_ = std::this_thread::get_id();
         executor_ = std::make_unique<ThreadedExecutor>(nlanes);
         // Pin each intrinsic engine to its lane's worker up front.
@@ -205,7 +206,7 @@ PipelineTimer::consumeOn(Producer& producer, Lane& lane,
     bool pushed = lane.buffer.push(record, produced_at);
     LBA_ASSERT(pushed, "buffer full after slot accounting");
 
-    if (config_.batched_dispatch) {
+    if (config_.dispatch_tier != DispatchTier::kPerRecord) {
         PendingMeta meta;
         meta.producer =
             static_cast<unsigned>(&producer - producers_.data());
@@ -299,8 +300,10 @@ PipelineTimer::flushPending()
     } else {
         // Phase 1: handler execution, in arrival order — the same cache
         // interleaving as per-record consumption — with maximal runs
-        // that share an engine drained through one consumeBatch call
-        // each (the whole queue, for single-lane systems).
+        // that share an engine drained through one consumeBatch (or
+        // consumeBatchFused, on the fused tier) call each (the whole
+        // queue, for single-lane systems).
+        const bool fused = config_.dispatch_tier == DispatchTier::kFused;
         std::size_t i = 0;
         while (i < n) {
             std::size_t j = i + 1;
@@ -310,10 +313,15 @@ PipelineTimer::flushPending()
             }
             // Serial flush: the coordinator runs the handlers itself,
             // so it owns each engine's functional side for the drain.
-            pending_meta_[i].engine->assumeFunctionalOwner();
-            pending_meta_[i].engine->consumeBatch(
-                pending_records_.data() + i, j - i,
-                pending_costs_.data() + i);
+            lifeguard::DispatchEngine* engine = pending_meta_[i].engine;
+            engine->assumeFunctionalOwner();
+            if (fused) {
+                engine->consumeBatchFused(pending_records_.data() + i,
+                                          j - i, pending_costs_.data() + i);
+            } else {
+                engine->consumeBatch(pending_records_.data() + i, j - i,
+                                     pending_costs_.data() + i);
+            }
             i = j;
         }
     }
@@ -372,7 +380,8 @@ PipelineTimer::runPendingThreaded(std::size_t n)
         executor_->enqueue(pending_meta_[i].engine,
                            pending_meta_[i].lane,
                            pending_records_.data() + i, j - i,
-                           &batch_scratch_[run]);
+                           &batch_scratch_[run],
+                           config_.dispatch_tier == DispatchTier::kFused);
         ++run;
         i = j;
     }

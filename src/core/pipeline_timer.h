@@ -32,19 +32,28 @@
  * special case by construction, which the shards=1 differential tests
  * assert cycle-for-cycle.
  *
- * Batched dispatch (LbaConfig::batched_dispatch, the default). The
- * recurrence above is *what* is computed; batching changes only *when*
- * the host computes it. Records are queued as they are logged and
- * drained at the next flush boundary — the following retirement
- * (before its drain check and cache accesses), a containment drain, a
+ * Dispatch tiers (LbaConfig::dispatch_tier). The recurrence above is
+ * *what* is computed; the tier changes only *how* (and when) the host
+ * computes it. kPerRecord consumes each record as it is logged through
+ * the lifeguard's virtual handleEvent (the micro_dispatch baseline).
+ * kBatched (the default) queues records as they are logged and drains
+ * them at the next flush boundary — the following retirement (before
+ * its drain check and cache accesses), a containment drain, a
  * slot-reservation squeeze, or end of run — first running every queued
  * handler in arrival order through the lifeguards' handler tables
  * (DispatchEngine::consumeBatch), then folding the per-record costs
  * into the recurrence in the same order. Because every flush boundary
  * precedes the next application-core cache access, the shared-L2
- * access interleaving is exactly the per-record path's, making the two
- * paths cycle-identical (tests/dispatch_batch_test.cpp) while the host
- * pays table dispatch instead of a virtual call per record.
+ * access interleaving is exactly the per-record path's, making the
+ * tiers cycle-identical (tests/dispatch_batch_test.cpp) while the host
+ * pays table dispatch instead of a virtual call per record. kFused
+ * drains the same flush batches through each lifeguard's *compiled*
+ * handler IR (lifeguard/compiler.h): same-event-type runs execute in
+ * specialized loops with the shadow cost accounting inlined — no
+ * virtual call, no per-record table lookup — and lifeguards without an
+ * IR description fall back to kBatched per engine, transparently
+ * (tests/dispatch_fused_test.cpp asserts the three-way cycle
+ * identity).
  *
  * Threaded execution (LbaConfig::execution = kThreaded). Handlers run
  * on real host threads — one worker per lane (ThreadedExecutor) — and
@@ -98,8 +107,8 @@ namespace lba::core {
 /**
  * How the host executes lifeguard handlers. Simulated timing is
  * identical either way (the mode changes host threads, not the model);
- * kThreaded requires batched dispatch, whose flush boundaries are the
- * cross-thread barriers.
+ * kThreaded requires a batching dispatch tier (kBatched or kFused),
+ * whose flush boundaries are the cross-thread barriers.
  */
 enum class ExecutionMode
 {
@@ -107,6 +116,27 @@ enum class ExecutionMode
     kSerial,
     /** One host worker thread per lane (see the file comment). */
     kThreaded,
+};
+
+/**
+ * How the host dispatches records to lifeguard handlers. Simulated
+ * timing is identical across tiers (asserted by
+ * tests/dispatch_batch_test.cpp and tests/dispatch_fused_test.cpp);
+ * the tier trades host-side dispatch overhead, not model fidelity.
+ */
+enum class DispatchTier
+{
+    /** Consume each record as it is logged, through the lifeguard's
+     *  virtual handleEvent (the micro_dispatch baseline). */
+    kPerRecord,
+    /** Queue and drain at flush boundaries through the handler table
+     *  (DispatchEngine::consumeBatch). The default. */
+    kBatched,
+    /** Queue and drain through the compiled handler IR
+     *  (DispatchEngine::consumeBatchFused): specialized loops over
+     *  same-event-type runs, no virtual call or table lookup. Engines
+     *  whose lifeguard has no IR description fall back to kBatched. */
+    kFused,
 };
 
 /** LBA platform configuration (shared by the serial and parallel systems). */
@@ -151,22 +181,21 @@ struct LbaConfig
     /** Record size on the transport when compression is disabled. */
     unsigned raw_record_bytes = 24;
     /**
-     * Batched handler-table dispatch (the default). Records are queued
-     * as they are logged and drained in batches through the lifeguards'
-     * handler tables (lifeguard::DispatchEngine::consumeBatch) at the
-     * next flush boundary: the following retirement, a containment
-     * drain, a slot-reservation squeeze, or end of run. Every flush
-     * boundary precedes the next application-core cache access, so the
-     * cache-access interleaving — and therefore every cycle count — is
-     * identical to the per-record path (asserted by
-     * tests/dispatch_batch_test.cpp). False = the retained per-record
-     * virtual-dispatch path (the micro_dispatch baseline).
+     * Dispatch tier (see DispatchTier and the file comment). The
+     * batching tiers (kBatched, kFused) queue records as they are
+     * logged and drain them at the next flush boundary: the following
+     * retirement, a containment drain, a slot-reservation squeeze, or
+     * end of run. Every flush boundary precedes the next
+     * application-core cache access, so the cache-access interleaving —
+     * and therefore every cycle count — is identical to the kPerRecord
+     * path (asserted by tests/dispatch_batch_test.cpp and
+     * tests/dispatch_fused_test.cpp).
      */
-    bool batched_dispatch = true;
+    DispatchTier dispatch_tier = DispatchTier::kBatched;
     /**
      * Host execution mode (kThreaded = one worker thread per lane,
      * cycle-identical to kSerial; see the file comment). Threaded
-     * execution requires batched_dispatch.
+     * execution requires a batching dispatch tier.
      */
     ExecutionMode execution = ExecutionMode::kSerial;
 };

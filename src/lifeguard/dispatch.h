@@ -11,26 +11,33 @@
  * pipelines with the previous handler; we charge a small fixed dispatch
  * cost per record (default 1 cycle).
  *
- * Host-side dispatch mirrors that table. At construction the engine
- * *resolves* the lifeguard's handler table: a registered handler is
- * entered directly; for legacy lifeguards (no registrations) every slot
- * falls back to the virtual handleEvent() call; for table-style
- * lifeguards an unregistered event type resolves to a no-op. The
- * batched entry points (consumeBatch) drain whole record spans through
- * the resolved table — the fast path the timing engine and
- * bench/micro_dispatch.cc use — while consume() is the retained
- * per-record virtual path. Both paths charge identical simulated
- * cycles for the same record stream: the resolved table reaches
- * exactly the code handleEvent() reaches.
+ * Host-side dispatch mirrors that table, in three tiers. At
+ * construction the engine *resolves* the lifeguard's handler table: a
+ * registered handler is entered directly; for legacy lifeguards (no
+ * registrations) every slot falls back to the virtual handleEvent()
+ * call; for table-style lifeguards an unregistered event type resolves
+ * to a no-op. consume() is the retained per-record virtual tier; the
+ * batched tier (consumeBatch) drains whole record spans through the
+ * resolved table; the fused tier (consumeBatchFused) goes further —
+ * when the lifeguard describes its handlers as IR (ir.h), the engine
+ * lowers the description once at construction (compiler.h) and drains
+ * each same-event-type run through a specialized loop with no
+ * per-record indirect call at all (lifeguards without an IR
+ * description transparently fall back to the batched tier). All tiers
+ * charge identical simulated cycles for the same record stream; only
+ * host speed differs (bench/micro_dispatch.cc,
+ * tests/dispatch_fused_test.cpp).
  *
  * Handler work is charged through a CostSink that routes metadata accesses
  * through the lifeguard core's caches.
+ *
  */
 
 #include <array>
 #include <span>
 
 #include "common/thread_annotations.h"
+#include "lifeguard/compiler.h"
 #include "lifeguard/lifeguard.h"
 #include "log/log_buffer.h"
 #include "mem/hierarchy.h"
@@ -84,11 +91,9 @@ struct DispatchStats
  */
 struct DeferredBatch
 {
-    struct MemOp
-    {
-        Addr addr = 0;
-        bool is_write = false;
-    };
+    /** One captured metadata access (shared with the fused tier's
+     *  DeferredCost, which pushes into `ops` directly). */
+    using MemOp = ir::MemOp;
 
     struct PerRecord
     {
@@ -179,6 +184,50 @@ class DispatchEngine
     Cycles consumeBatch(std::span<const log::LogBuffer::Entry> entries,
                         Cycles* costs = nullptr)
         LBA_REQUIRES(::lba::threading::coordinator_role, functional_side_);
+
+    /**
+     * Drain a contiguous record batch through the fused tier: the
+     * batch is scanned for maximal same-event-type runs and each run
+     * is drained through the loop compiled from the lifeguard's IR
+     * description — constant-cost runs in bulk with no per-record
+     * call, the rest through the computed-goto interpreter
+     * (compiler.h). Charges exactly the cycles consumeBatch() would;
+     * a lifeguard without an IR description falls back to
+     * consumeBatch() transparently. Same ownership contract as
+     * consumeBatch(): serial path, coordinator + functional side.
+     * @return Total cycles across the batch.
+     */
+    Cycles consumeBatchFused(const log::EventRecord* records,
+                             std::size_t count, Cycles* costs = nullptr)
+        LBA_REQUIRES(::lba::threading::coordinator_role, functional_side_);
+
+    /**
+     * Fused drain of a log-buffer span (see log::LogBuffer::frontSpan).
+     * The caller still pops the buffer.
+     * @return Total cycles across the batch.
+     */
+    Cycles
+    consumeBatchFused(std::span<const log::LogBuffer::Entry> entries,
+                      Cycles* costs = nullptr)
+        LBA_REQUIRES(::lba::threading::coordinator_role, functional_side_);
+
+    /**
+     * Functional half of consumeBatchFused() for threaded execution:
+     * the fused twin of consumeBatchDeferred(), with the same
+     * ownership contract — it runs on the worker that owns this
+     * engine's functional side and captures costs into @p out for the
+     * coordinator's replayDeferred() pass, which is unchanged (the
+     * captured batches are indistinguishable from the batched tier's).
+     * Falls back to consumeBatchDeferred() when the lifeguard has no
+     * IR description.
+     */
+    void consumeBatchFusedDeferred(const log::EventRecord* records,
+                                   std::size_t count, DeferredBatch& out)
+        LBA_REQUIRES(functional_side_);
+
+    /** True when the lifeguard opted into the fused tier (an IR
+     *  description was present and compiled at construction). */
+    bool fusedTierCompiled() const { return fused_; }
 
     /**
      * Functional half of consumeBatch() for threaded execution: run
@@ -276,6 +325,14 @@ class DispatchEngine
     Cycles dispatchOne(const log::EventRecord& record)
         LBA_REQUIRES(::lba::threading::coordinator_role, functional_side_);
 
+    /** The fused serial drain loop (see consumeBatchFused), templated
+     *  over the record accessor so the pointer and log-buffer-span
+     *  entry points share one body. Carries the same capability
+     *  requirements as the serial batched loops it replaces. */
+    template <typename RecordAt>
+    Cycles fusedDrain(std::size_t count, RecordAt at, Cycles* costs)
+        LBA_REQUIRES(::lba::threading::coordinator_role, functional_side_);
+
     /** Fold one consumed record into the statistics (serial paths:
      *  both domains advance together). */
     Cycles
@@ -312,6 +369,8 @@ class DispatchEngine
 
     Lifeguard& lifeguard_;
     DispatchConfig config_;
+    /** For the fused tier's DirectCost (same hierarchy sink_ wraps). */
+    mem::CacheHierarchy& hierarchy_;
     /** Charges the shared, order-sensitive hierarchy — coordinator
      *  territory (workers capture costs into DeferredBatch instead). */
     Sink sink_ LBA_GUARDED_BY(::lba::threading::coordinator_role);
@@ -319,6 +378,10 @@ class DispatchEngine
     TimingCounts timing_ LBA_GUARDED_BY(::lba::threading::coordinator_role);
     /** Handler table with the null slots resolved (see file comment). */
     std::array<Lifeguard::Handler, log::kNumEventTypes> resolved_;
+    /** The lifeguard's lowered IR (valid when fused_; compiled once,
+     *  at construction, on the coordinating thread). */
+    CompiledDispatch compiled_;
+    bool fused_ = false;
 };
 
 } // namespace lba::lifeguard

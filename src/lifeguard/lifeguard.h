@@ -50,6 +50,10 @@
 
 namespace lba::lifeguard {
 
+namespace ir {
+class LifeguardIR;
+} // namespace ir
+
 /**
  * Receives the simulated cost of handler execution. Implemented by each
  * monitoring platform.
@@ -143,6 +147,21 @@ class Lifeguard
 
     /** True when at least one handler was registered (table style). */
     bool usesHandlerTable() const { return uses_handler_table_; }
+
+    /**
+     * The lifeguard's handler-IR description (ir.h), or nullptr when
+     * it has none. A non-null description opts the lifeguard into the
+     * fused dispatch tier: the dispatch engine lowers it once at
+     * construction (lifeguard::compileHandlers) and drains record runs
+     * through specialized loops instead of the handler table. The
+     * description must mirror the registered table exactly — same
+     * event types, same per-record cost — which handler authors get by
+     * writing each handler body once, templated over the cost
+     * accumulator (docs/LIFEGUARD_GUIDE.md, "Describing handlers as
+     * IR"). Lifeguards without a description (including all legacy
+     * virtual ones) transparently stay on the batched tier.
+     */
+    virtual const ir::LifeguardIR* handlerIR() const { return nullptr; }
 
     /**
      * Freeze the handler table. Called by a dispatch engine when it

@@ -1,10 +1,10 @@
 /**
  * @file
  * Differential proof of the batched handler-table dispatch path: for
- * the same program and configuration, `batched_dispatch = true` (the
+ * the same program and configuration, `dispatch_tier = kBatched` (the
  * default: records drained in batches through the per-event-type
  * handler tables) must be cycle-identical — every stat, every finding
- * — to `batched_dispatch = false` (the retained per-record virtual
+ * — to `dispatch_tier = kPerRecord` (the retained per-record virtual
  * path), across the serial system, the parallel system with shards in
  * {1, 2, 4}, a one-tenant pool, and a containment run that actually
  * rewinds. This is the invariant that makes the fast path safe: any
@@ -86,9 +86,9 @@ expectSerialIdentical(const workload::GeneratedProgram& gen,
                       const LifeguardFactory& factory, LbaConfig lba)
 {
     Experiment exp(gen.program);
-    lba.batched_dispatch = true;
+    lba.dispatch_tier = DispatchTier::kBatched;
     PlatformResult batched = exp.runLba(factory, lba);
-    lba.batched_dispatch = false;
+    lba.dispatch_tier = DispatchTier::kPerRecord;
     PlatformResult record = exp.runLba(factory, lba);
 
     EXPECT_EQ(batched.cycles, record.cycles);
@@ -146,9 +146,9 @@ TEST(DispatchBatch, ParallelShards124)
     for (unsigned shards : {1u, 2u, 4u}) {
         SCOPED_TRACE(shards);
         ParallelLbaConfig config(LbaConfig{}, shards);
-        config.batched_dispatch = true;
+        config.dispatch_tier = DispatchTier::kBatched;
         PlatformResult batched = exp.runParallelLba(addrcheck(), config);
-        config.batched_dispatch = false;
+        config.dispatch_tier = DispatchTier::kPerRecord;
         PlatformResult record = exp.runParallelLba(addrcheck(), config);
 
         EXPECT_EQ(batched.cycles, record.cycles);
@@ -180,12 +180,12 @@ TEST(DispatchBatch, OneTenantPool)
     config.lba.buffer_capacity = 256;
     config.lba.transport_bytes_per_cycle = 1.5;
 
-    config.lba.batched_dispatch = true;
+    config.lba.dispatch_tier = DispatchTier::kBatched;
     sched::LifeguardPool batched_pool(config, addrcheck());
     batched_pool.addTenant({"solo", gen.program, {}, 0.0});
     sched::PoolResult batched = batched_pool.run();
 
-    config.lba.batched_dispatch = false;
+    config.lba.dispatch_tier = DispatchTier::kPerRecord;
     sched::LifeguardPool record_pool(config, addrcheck());
     record_pool.addTenant({"solo", gen.program, {}, 0.0});
     sched::PoolResult record = record_pool.run();
@@ -214,9 +214,9 @@ TEST(DispatchBatch, ContainmentRewindsIdentically)
     containment.policy = replay::RepairPolicy::kQuarantine;
 
     LbaConfig lba;
-    lba.batched_dispatch = true;
+    lba.dispatch_tier = DispatchTier::kBatched;
     PlatformResult batched = exp.runLba(addrcheck(), lba, containment);
-    lba.batched_dispatch = false;
+    lba.dispatch_tier = DispatchTier::kPerRecord;
     PlatformResult record = exp.runLba(addrcheck(), lba, containment);
 
     ASSERT_TRUE(batched.containment_enabled);
@@ -240,9 +240,9 @@ TEST(DispatchBatch, BatchedPathActuallyBatches)
     // really compare the two implementations.
     auto gen = makeProgram("gzip", 20000);
 
-    auto run = [&](bool batched) {
+    auto run = [&](DispatchTier tier) {
         LbaConfig lba;
-        lba.batched_dispatch = batched;
+        lba.dispatch_tier = tier;
         mem::CacheHierarchy hierarchy(mem::HierarchyConfig{});
         lifeguards::AddrCheck guard;
         LbaSystem system(guard, hierarchy, lba);
@@ -253,8 +253,8 @@ TEST(DispatchBatch, BatchedPathActuallyBatches)
         return system.dispatchStats().batches;
     };
 
-    EXPECT_GT(run(true), 0u);
-    EXPECT_EQ(run(false), 0u);
+    EXPECT_GT(run(DispatchTier::kBatched), 0u);
+    EXPECT_EQ(run(DispatchTier::kPerRecord), 0u);
 }
 
 } // namespace

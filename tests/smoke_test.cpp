@@ -144,6 +144,40 @@ TEST_F(SmokeTest, LbaRunTrailingValueFlagIsUsageErrorNotCrash)
     EXPECT_EQ(runCommand(dbi), 2);
 }
 
+TEST_F(SmokeTest, LbaRunDispatchTierFlagValidation)
+{
+    // Unknown tier names are usage errors (exit 2), in both the
+    // `--flag value` and `--flag=value` spellings — never a silent
+    // fall-back to the default tier.
+    for (const char* spelling :
+         {" --dispatch bogus", " --dispatch=bogus"}) {
+        std::string cmd = std::string(LBA_RUN_PATH) + " gzip addrcheck" +
+                          spelling + " >/dev/null 2>&1";
+        EXPECT_EQ(runCommand(cmd), 2) << "spelling: " << spelling;
+    }
+    // Every valid tier runs end-to-end, in both spellings.
+    for (const char* spelling :
+         {" --dispatch fused", " --dispatch=fused",
+          " --dispatch batched", " --dispatch per-record"}) {
+        std::string cmd = std::string(LBA_RUN_PATH) +
+                          " gzip addrcheck --instrs 15000"
+                          " --platform lba" +
+                          spelling + " >/dev/null 2>&1";
+        EXPECT_EQ(runCommand(cmd), 0) << "spelling: " << spelling;
+    }
+    // The fused tier composes with threaded host execution...
+    std::string threaded = std::string(LBA_RUN_PATH) +
+                           " gzip addrcheck --instrs 15000"
+                           " --platform lba --dispatch fused"
+                           " --execution threaded >/dev/null 2>&1";
+    EXPECT_EQ(runCommand(threaded), 0);
+    // ...while per-record + threaded stays rejected.
+    std::string per_record = std::string(LBA_RUN_PATH) +
+                             " gzip addrcheck --dispatch per-record"
+                             " --execution threaded >/dev/null 2>&1";
+    EXPECT_EQ(runCommand(per_record), 2);
+}
+
 TEST_F(SmokeTest, LbaTraceMissingArgumentsAreUsageErrors)
 {
     std::string base = std::string(LBA_TRACE_PATH);

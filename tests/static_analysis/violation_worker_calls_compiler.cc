@@ -1,0 +1,26 @@
+/**
+ * @file
+ * MUST NOT COMPILE under -Wthread-safety -Werror (see CMakeLists.txt):
+ * a worker-lane thread invoking the lifeguard batch compiler. IR
+ * lowering (lifeguard/compiler.h) is LBA_COORDINATOR_ONLY — it runs
+ * once, at dispatch-engine construction, before any worker exists;
+ * re-lowering from a worker would race the coordinator's drain loops
+ * over the CompiledDispatch table. Holding the worker role does not
+ * grant the coordinator role, so the gate must reject this at compile
+ * time (tools/lba_lint.py keeps the annotation itself from being
+ * dropped).
+ */
+
+#include "common/thread_annotations.h"
+#include "lifeguard/compiler.h"
+#include "lifeguard/ir.h"
+#include "lifeguard/lifeguard.h"
+
+void
+workerCompilesHandlers(lba::lifeguard::Lifeguard& lifeguard,
+                       const lba::lifeguard::ir::LifeguardIR& ir)
+{
+    lba::threading::assumeWorkerRole();
+    lba::lifeguard::compileHandlers(
+        lifeguard, ir); // error: requires ::lba::threading::coordinator_role
+}

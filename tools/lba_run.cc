@@ -11,7 +11,7 @@
  *           [--tenants N] [--lanes M] [--sched static|rr|lag]
  *           [--containment abort|skip|patch|quarantine]
  *           [--checkpoint-interval N] [--json PATH]
- *           [--dispatch batched|per-record]
+ *           [--dispatch batched|per-record|fused]
  *           [--execution serial|threaded]
  *
  * With --tenants N the benchmark argument may be a comma-separated
@@ -20,14 +20,16 @@
  * --containment enables rewind-and-repair containment under the chosen
  * repair policy (src/replay/containment.h); the `--containment=policy`
  * spelling is accepted too. --dispatch selects the lifeguard-core
- * dispatch implementation: `batched` (the default) drains records in
- * batches through the per-event-type handler tables, `per-record` is
- * the retained virtual-dispatch baseline; the two are cycle-identical
- * by construction (docs/ARCHITECTURE.md). --execution selects the host
- * execution mode: `threaded` runs lifeguard handlers on one worker
- * thread per lane while every simulated cycle count stays bit-identical
- * to `serial` (docs/ARCHITECTURE.md "Threaded execution"); it requires
- * batched dispatch. --codec selects the registered log codec the
+ * dispatch tier: `batched` (the default) drains records in batches
+ * through the per-event-type handler tables, `fused` drains the same
+ * batches through compiled handler IR (specialized loops, no per-record
+ * table lookup), `per-record` is the retained virtual-dispatch
+ * baseline; all three are cycle-identical by construction
+ * (docs/ARCHITECTURE.md). --execution selects the host execution mode:
+ * `threaded` runs lifeguard handlers on one worker thread per lane
+ * while every simulated cycle count stays bit-identical to `serial`
+ * (docs/ARCHITECTURE.md "Threaded execution"); it requires a batching
+ * dispatch tier. --codec selects the registered log codec the
  * transport accounting runs (`predictor` is the default; see
  * `lba_trace codecs` for the registry). --json writes a
  * machine-readable copy of the report to PATH.
@@ -70,7 +72,7 @@ usage()
         "[--sched static|rr|lag]\n"
         "               [--containment abort|skip|patch|quarantine]\n"
         "               [--checkpoint-interval N] [--json PATH]\n"
-        "               [--dispatch batched|per-record]\n"
+        "               [--dispatch batched|per-record|fused]\n"
         "               [--execution serial|threaded]\n");
     return 2;
 }
@@ -251,7 +253,7 @@ runMultiTenant(const std::vector<std::string>& benchmarks,
                const core::LifeguardFactory& factory,
                std::uint64_t instrs, unsigned tenants, unsigned lanes,
                sched::Policy policy, double transport_bw,
-               const std::string& codec, bool batched_dispatch,
+               const std::string& codec, core::DispatchTier dispatch_tier,
                core::ExecutionMode execution,
                const workload::BugInjection& bugs,
                const replay::ContainmentConfig& containment,
@@ -262,7 +264,7 @@ runMultiTenant(const std::vector<std::string>& benchmarks,
     config.policy = policy;
     config.lba.transport_bytes_per_cycle = transport_bw;
     config.lba.codec = codec;
-    config.lba.batched_dispatch = batched_dispatch;
+    config.lba.dispatch_tier = dispatch_tier;
     config.lba.execution = execution;
     config.containment = containment;
     sched::LifeguardPool pool(config, factory);
@@ -378,12 +380,14 @@ main(int argc, char** argv)
     std::string json_path;
     workload::BugInjection bugs;
     replay::ContainmentConfig containment;
-    bool batched_dispatch = true;
+    core::DispatchTier dispatch_tier = core::DispatchTier::kBatched;
     auto parse_dispatch = [&](const std::string& value) {
         if (value == "batched") {
-            batched_dispatch = true;
+            dispatch_tier = core::DispatchTier::kBatched;
         } else if (value == "per-record") {
-            batched_dispatch = false;
+            dispatch_tier = core::DispatchTier::kPerRecord;
+        } else if (value == "fused") {
+            dispatch_tier = core::DispatchTier::kFused;
         } else {
             return false;
         }
@@ -480,11 +484,11 @@ main(int argc, char** argv)
         }
     }
     if (execution == core::ExecutionMode::kThreaded &&
-        !batched_dispatch) {
-        // Threaded execution's cross-thread barriers are the batched
-        // flush boundaries; the per-record path has none.
+        dispatch_tier == core::DispatchTier::kPerRecord) {
+        // Threaded execution's cross-thread barriers are the batching
+        // tiers' flush boundaries; the per-record path has none.
         std::fprintf(stderr, "--execution threaded requires "
-                             "--dispatch batched\n");
+                             "--dispatch batched|fused\n");
         return usage();
     }
     if (containment.checkpoint_interval > 0 && !containment.enabled) {
@@ -535,7 +539,7 @@ main(int argc, char** argv)
         if (benchmarks.empty()) return usage();
         return runMultiTenant(benchmarks, lifeguard_name, factory,
                               instrs, tenants, lanes, policy,
-                              transport_bw, codec, batched_dispatch,
+                              transport_bw, codec, dispatch_tier,
                               execution, bugs, containment, json_path);
     }
 
@@ -552,7 +556,7 @@ main(int argc, char** argv)
     // Experiment::runParallelLba (one timing engine under both).
     config.lba.transport_bytes_per_cycle = transport_bw;
     config.lba.codec = codec;
-    config.lba.batched_dispatch = batched_dispatch;
+    config.lba.dispatch_tier = dispatch_tier;
     config.lba.execution = execution;
     config.containment = containment;
     core::Experiment experiment(generated.program, config);

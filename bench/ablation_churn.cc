@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Ablation ABL-CHURN: tenant arrival and departure in the shared
+ * lifeguard pool (src/sched/). A deployed LBA chip does not get its
+ * tenant population at boot: applications attach and detach while the
+ * pool is running. This ablation sweeps lanes x policy over a fixed
+ * churn schedule — two tenants present from the start, two arriving at
+ * later driver rounds, one detaching partway through its run — and
+ * reports make-span, per-tenant slowdown spread, tail consume lag and
+ * lane steals, so the cost of rebalancing around churn is visible next
+ * to ablation_sched's static-population numbers.
+ *
+ * The schedule is expressed entirely through TenantConfig
+ * (arrival_round / detach_after_instructions), so every configuration
+ * is deterministic: the same table on every run
+ * (tests/churn_test.cpp asserts the underlying determinism).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sched/pool.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace lba;
+    bench::JsonReport report("ablation_churn",
+                             bench::jsonOutPath(argc, argv));
+    std::uint64_t instrs = bench::benchInstructions();
+
+    std::printf("Ablation: tenant arrival/departure churn "
+                "(shared BoundsCheck pool, req_serve tenants)\n\n");
+    stats::Table table({"lanes", "policy", "makespan", "mean slowdown",
+                        "worst slowdown", "p95 lag", "steals",
+                        "detached", "queued"});
+
+    const workload::Profile* profile =
+        workload::findProfile("req_serve");
+    std::uint64_t share =
+        std::max<std::uint64_t>(instrs / 4, 5000);
+
+    for (unsigned lanes : {1u, 2u, 4u}) {
+        for (sched::Policy policy :
+             {sched::Policy::kStatic, sched::Policy::kRoundRobin,
+              sched::Policy::kLagAware}) {
+            sched::PoolConfig config;
+            config.lanes = lanes;
+            config.policy = policy;
+            // Finite transport so admission/queueing is a real
+            // decision when the late arrivals show up.
+            config.lba.transport_bytes_per_cycle = 2.0;
+            config.slice_instructions = 5000;
+            sched::LifeguardPool pool(config,
+                                      bench::makeBoundsCheck());
+
+            // The churn schedule: t0/t1 boot-time, t1 detaches after
+            // half its share, t2 arrives once slicing is underway,
+            // t3 arrives later still.
+            struct Slot
+            {
+                const char* name;
+                std::uint64_t arrival_round;
+                std::uint64_t detach_after;
+            };
+            const Slot slots[] = {
+                {"serve0", 0, 0},
+                {"serve1", 0, share / 2},
+                {"serve2", 4, 0},
+                {"serve3", 8, 0},
+            };
+            for (unsigned t = 0; t < 4; ++t) {
+                auto generated =
+                    workload::generate(*profile, {}, share);
+                sched::TenantConfig tenant;
+                tenant.name = slots[t].name;
+                tenant.program = generated.program;
+                tenant.process.input_seed = 0x5eed0000 + t;
+                tenant.arrival_round = slots[t].arrival_round;
+                tenant.detach_after_instructions =
+                    slots[t].detach_after;
+                pool.addTenant(std::move(tenant));
+            }
+            sched::PoolResult result = pool.run();
+
+            double sum = 0.0;
+            double worst = 0.0;
+            double p95 = 0.0;
+            unsigned detached = 0;
+            unsigned queued = 0;
+            for (const sched::TenantStats& t : result.tenants) {
+                sum += t.slowdown;
+                worst = std::max(worst, t.slowdown);
+                p95 = std::max(p95, t.lag_p95);
+                if (t.detached) ++detached;
+                if (t.was_queued) ++queued;
+            }
+            table.addRow(
+                {std::to_string(lanes), result.policy,
+                 std::to_string(result.total_cycles),
+                 stats::formatSlowdown(sum / 4.0),
+                 stats::formatSlowdown(worst),
+                 stats::formatDouble(p95, 1),
+                 std::to_string(result.lane_steals),
+                 std::to_string(detached),
+                 std::to_string(queued)});
+        }
+    }
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("schedule: serve0/serve1 at round 0, serve1 detaches "
+                "at %llu instrs, serve2 arrives round 4, serve3 round "
+                "8; makespan = latest tenant completion (cycles).\n",
+                static_cast<unsigned long long>(share / 2));
+    report.addTable("lanes x policy under churn", table);
+    return 0;
+}

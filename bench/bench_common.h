@@ -20,7 +20,9 @@
 
 #include "core/runner.h"
 #include "lifeguards/addrcheck.h"
+#include "lifeguards/boundscheck.h"
 #include "lifeguards/lockset.h"
+#include "lifeguards/memleak.h"
 #include "lifeguards/taintcheck.h"
 #include "stats/table.h"
 #include "workload/generator.h"
@@ -56,6 +58,18 @@ inline core::LifeguardFactory
 makeLockSet()
 {
     return [] { return std::make_unique<lifeguards::LockSet>(); };
+}
+
+inline core::LifeguardFactory
+makeBoundsCheck()
+{
+    return [] { return std::make_unique<lifeguards::BoundsCheck>(); };
+}
+
+inline core::LifeguardFactory
+makeMemLeak()
+{
+    return [] { return std::make_unique<lifeguards::MemLeak>(); };
 }
 
 /** One benchmark's platform comparison. */

@@ -16,7 +16,8 @@ findingKindName(FindingKind kind)
 {
     static const char* const names[] = {
         "UnallocatedAccess", "DoubleFree", "MemoryLeak", "TaintedJump",
-        "DataRace", "CallRetMismatch", "Other",
+        "DataRace", "CallRetMismatch", "TagMismatch", "LeakSuspect",
+        "Other",
     };
     static_assert(sizeof(names) / sizeof(names[0]) ==
                       static_cast<std::size_t>(

@@ -20,6 +20,8 @@ enum class FindingKind : std::uint8_t {
     kTaintedJump,           ///< TaintCheck: jump target from input data
     kDataRace,              ///< LockSet: insufficiently locked access
     kCallRetMismatch,       ///< examples: broken call/return pairing
+    kTagMismatch,           ///< BoundsCheck: pointer/memory tag differ
+    kLeakSuspect,           ///< MemLeak: block unreferenced for epochs
     kOther,
 
     kNumFindingKinds

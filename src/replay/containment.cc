@@ -51,6 +51,20 @@ findingKey(const lifeguard::Finding& finding)
             finding.addr};
 }
 
+/**
+ * True when patching the finding's pc is a sound repair. Leak findings
+ * (MemLeak's kLeakSuspect / end-of-run kMemoryLeak) attribute the
+ * *allocation site* — nopping or li-patching an allocation syscall
+ * would corrupt the program's heap dataflow, so those route to
+ * quarantine regardless of the skip/patch policy.
+ */
+bool
+patchableSite(const lifeguard::Finding& finding)
+{
+    return finding.kind != lifeguard::FindingKind::kLeakSuspect &&
+           finding.kind != lifeguard::FindingKind::kMemoryLeak;
+}
+
 } // namespace
 
 ContainmentManager::ContainmentManager(
@@ -206,7 +220,8 @@ ContainmentManager::containAndRepair()
         return false;
 
       case RepairPolicy::kSkip:
-        if (process_.patchInstruction(finding.pc, nop)) {
+        if (patchableSite(finding) &&
+            process_.patchInstruction(finding.pc, nop)) {
             ++stats_.repairs.skipped;
             repaired_.insert(findingKey(finding));
         } else {
@@ -220,8 +235,10 @@ ContainmentManager::containAndRepair()
       case RepairPolicy::kPatch: {
         isa::Instruction instr;
         bool patched = false;
-        if (process_.instructionAt(finding.pc, &instr) &&
-            isa::isLoad(instr.op)) {
+        if (!patchableSite(finding)) {
+            // fall through to quarantine below
+        } else if (process_.instructionAt(finding.pc, &instr) &&
+                   isa::isLoad(instr.op)) {
             // Preserve dataflow: the faulting load's destination gets a
             // defined default value instead of the poisoned read.
             patched = process_.patchInstruction(

@@ -29,6 +29,13 @@ struct LifeguardPool::Tenant
     bool finished = false;
     Cycles unmonitored_cycles = 0;
 
+    /** Retired instructions observed by the pool (detach clock). */
+    std::uint64_t observed_instructions = 0;
+    /** The detach threshold fired; the current slice is the last. */
+    bool detach_requested = false;
+    /** Tenant was removed by its detach threshold. */
+    bool detached = false;
+
     std::unique_ptr<sim::Process> process;
     /** One lifeguard shard context per pool lane (fixed functional
      *  sharding; the scheduler only moves contexts between lanes). */
@@ -187,6 +194,16 @@ LifeguardPool::onRetire(const sim::Retired& retired)
         // by this syscall's onOsEvent are drained too.
         timer_->noteSyscall(current_);
     }
+    // Detach clock: mirror the instruction-limit completion exactly —
+    // the threshold retirement is the last one the platform observes.
+    ++tenant.observed_instructions;
+    if (tenant.config.detach_after_instructions > 0 &&
+        !tenant.detach_requested &&
+        tenant.observed_instructions >=
+            tenant.config.detach_after_instructions) {
+        tenant.detach_requested = true;
+        tenant.process->requestStop();
+    }
     if (sliced_ && --slice_remaining_ == 0) {
         tenant.process->requestStop();
     }
@@ -268,8 +285,15 @@ LifeguardPool::run()
             ++t.window_lag_count;
         });
 
-    // Admission, in arrival order.
+    // Admission, in arrival order. Tenants with a later arrival round
+    // go to the pending list and face admission when their round comes
+    // up mid-drive.
+    std::vector<unsigned> pending;
     for (unsigned t = 0; t < ntenants; ++t) {
+        if (tenants_[t]->config.arrival_round > 0) {
+            pending.push_back(t);
+            continue;
+        }
         if (fits(*tenants_[t])) {
             activate(t);
         } else if (config_.admission == AdmissionMode::kQueue) {
@@ -279,6 +303,11 @@ LifeguardPool::run()
             tenants_[t]->rejected = true;
         }
     }
+    std::stable_sort(pending.begin(), pending.end(),
+                     [this](unsigned a, unsigned b) {
+                         return tenants_[a]->config.arrival_round <
+                                tenants_[b]->config.arrival_round;
+                     });
     scheduler_->rebalance(active_);
 
     // Tenant runtime state — only for tenants that will actually run
@@ -317,15 +346,49 @@ LifeguardPool::run()
     }
 
     // Drive: round-robin slices over the active tenants. A lone tenant
-    // with an empty queue runs to completion unsliced (no one to yield
-    // to), which preserves its solo thread interleaving.
+    // with an empty queue and no pending arrivals runs to completion
+    // unsliced (no one to yield to), which preserves its solo thread
+    // interleaving. The round counter advances once per executed slice
+    // and gates pending arrivals, so attach timing is deterministic.
     std::size_t cursor = 0;
-    while (!active_.empty()) {
+    std::uint64_t round = 0;
+    while (!active_.empty() || !pending.empty() || !queued_.empty()) {
+        // Arrivals due this round face admission now.
+        bool membership_changed = false;
+        while (!pending.empty() &&
+               tenants_[pending.front()]->config.arrival_round <= round) {
+            unsigned arriving = pending.front();
+            pending.erase(pending.begin());
+            if (fits(*tenants_[arriving])) {
+                activate(arriving);
+                membership_changed = true;
+            } else if (config_.admission == AdmissionMode::kQueue) {
+                tenants_[arriving]->was_queued = true;
+                queued_.push_back(arriving);
+            } else {
+                tenants_[arriving]->rejected = true;
+            }
+        }
+        // An idle pool always fits the queue head.
+        while (active_.empty() && !queued_.empty()) {
+            activate(queued_.front());
+            queued_.erase(queued_.begin());
+            membership_changed = true;
+        }
+        if (membership_changed) scheduler_->rebalance(active_);
+        if (active_.empty()) {
+            if (pending.empty()) break;
+            // Nothing runnable: fast-forward to the next arrival.
+            round = tenants_[pending.front()]->config.arrival_round;
+            continue;
+        }
+
         cursor %= active_.size();
         unsigned index = active_[cursor];
         Tenant& tenant = *tenants_[index];
 
-        sliced_ = active_.size() > 1 || !queued_.empty();
+        sliced_ = active_.size() > 1 || !queued_.empty() ||
+                  !pending.empty();
         slice_remaining_ = config_.slice_instructions;
         current_ = index;
         sim::RetireObserver* observer =
@@ -357,20 +420,26 @@ LifeguardPool::run()
         // lanes, rewind its process, repair — other tenants' clocks and
         // lane assignments are untouched. Abort falls through to the
         // completion path below.
+        ++round;
         bool abort_tenant = false;
         if (tenant.run_result.stopped && tenant.manager &&
             tenant.manager->pendingFinding()) {
             abort_tenant = !tenant.manager->containAndRepair();
             tenant.aborted = abort_tenant;
         }
-        if (tenant.run_result.stopped && !abort_tenant) {
+        if (tenant.run_result.stopped && !abort_tenant &&
+            !tenant.detach_requested) {
             epoch();
             ++cursor;
             continue;
         }
 
-        // Tenant complete (exit, deadlock or instruction limit):
-        // release its bandwidth share and let queued tenants in.
+        // Tenant complete (exit, deadlock, instruction limit or
+        // detach): release its bandwidth share and let queued tenants
+        // in.
+        if (tenant.detach_requested && !abort_tenant) {
+            tenant.detached = true;
+        }
         tenant.finished = true;
         load_ -= tenant.demand;
         active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(cursor));
@@ -409,6 +478,7 @@ LifeguardPool::run()
         stats.admitted = tenant->admitted;
         stats.was_queued = tenant->was_queued;
         stats.rejected = tenant->rejected;
+        stats.detached = tenant->detached;
         stats.demand_bytes_per_cycle = tenant->demand;
         stats.unmonitored_cycles = tenant->unmonitored_cycles;
         if (tenant->admitted) {

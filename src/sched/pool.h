@@ -56,6 +56,27 @@ struct TenantConfig
      * uncompressed — deliberately conservative).
      */
     double demand_bytes_per_cycle = 0.0;
+
+    /**
+     * Driver round (slice count since run() started) at which this
+     * tenant arrives. 0 = present from the start. A late arrival goes
+     * through the same admission decision (activate / queue / reject)
+     * when its round comes up; while the pool is idle the driver
+     * fast-forwards to the next arrival. Deterministic: the round
+     * counter advances once per executed slice, never with wall time.
+     */
+    std::uint64_t arrival_round = 0;
+
+    /**
+     * Detach the tenant after this many observed retired instructions
+     * (0 = run to completion). Detachment is treated exactly like
+     * completion: mid-slice the process stops, the tenant's bandwidth
+     * share is released, queued tenants are admitted and the lane map
+     * rebalances — surviving tenants' clocks are untouched. Under
+     * containment the count includes replayed (post-rewind)
+     * retirements.
+     */
+    std::uint64_t detach_after_instructions = 0;
 };
 
 /** What admission control does with a tenant that does not fit. */
@@ -117,6 +138,8 @@ struct TenantStats
     bool was_queued = false;
     /** Refused by admission control; never ran. */
     bool rejected = false;
+    /** Stopped by TenantConfig::detach_after_instructions. */
+    bool detached = false;
     /** Demand used by admission control (bytes/cycle). */
     double demand_bytes_per_cycle = 0.0;
 

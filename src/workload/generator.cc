@@ -664,6 +664,281 @@ class ThreadEmitter
     std::map<unsigned, std::int32_t> cold_cursor_;
 };
 
+/**
+ * Request-serving program shape (Profile::phases > 0).
+ *
+ * Structure:
+ *   prologue: allocate the hot buffer, the cold buffer and the marker
+ *             buffer; seed registers;
+ *   phase p (0..P-1): a counted loop of R short requests — allocate a
+ *             request block, write its header, touch the hot/cold
+ *             split (hot_fraction of the data touches hit the small
+ *             hot buffer; the rest stream through the cold buffer at a
+ *             per-phase prime-ish stride), a little ALU work, free the
+ *             block — then a SYS_WRITE phase marker whose kOutput
+ *             annotation record ends the phase in the log. Phase
+ *             bodies are regenerated per phase (new hot offsets, new
+ *             stride, reshuffled slots): the access pattern genuinely
+ *             changes at each marker.
+ *   epilogue: free the long-lived buffers and halt.
+ *
+ * Every request body is straight-line (branches only appear around
+ * bug-gated sections), so for single-threaded bug-free programs the
+ * marker record indices are exact: dynamic counts equal static size
+ * deltas plus two annotation records (alloc + free) per request.
+ *
+ * Bug knobs: leak skips the free of every 64th request (MemLeak),
+ * use_after_free reloads every 128th request's block after its free
+ * (BoundsCheck/AddrCheck), double_free frees every 256th request's
+ * block twice (AddrCheck). tainted_jump/race do not apply here.
+ *
+ * With worker_churn, each phase change spawns and joins a short-lived
+ * worker thread (thread churn); marker indices are then scheduler-
+ * dependent and not reported.
+ */
+GeneratedProgram
+generateRequestServing(const Profile& profile, const BugInjection& bugs,
+                       std::uint64_t target)
+{
+    LBA_ASSERT(profile.request_bytes >= 16,
+               "request blocks hold a 16-byte header");
+    constexpr unsigned kTouches = 8;
+    unsigned n_hot = static_cast<unsigned>(std::clamp<long long>(
+        std::llround(profile.hot_fraction * kTouches), 0, kTouches));
+    unsigned n_cold = kTouches - n_hot;
+
+    constexpr std::uint64_t kHotBytes = 4096;
+    std::uint64_t cold_bytes = std::max<std::uint64_t>(
+        8 * 1024,
+        (static_cast<std::uint64_t>(profile.working_set_kb) * 1024) &
+            ~63ull);
+
+    // ~instructions per request (kept in sync with the emission below;
+    // only used to derive the request count from the budget).
+    double per_request = 3 + 2 + n_hot + 4.0 * n_cold + 4 + 2 + 3;
+    unsigned phases = std::max(1u, profile.phases);
+    std::uint64_t requests =
+        profile.requests_per_phase
+            ? profile.requests_per_phase
+            : std::max<std::uint64_t>(
+                  4, static_cast<std::uint64_t>(
+                         static_cast<double>(target) /
+                         (phases * per_request)));
+
+    bool any_bug = bugs.use_after_free || bugs.double_free || bugs.leak;
+    bool exact_markers = !any_bug && !profile.worker_churn;
+
+    Rng rng(profile.seed * 0x9e3779b97f4a7c15ull + 5);
+    ProgramBuilder b;
+    Label worker_entry = b.newLabel();
+
+    // Cold-walk registers (r15..r18 are ours; scratch is r12-r14/r19).
+    constexpr RegIndex kRegColdSize = 15;
+    constexpr RegIndex kRegColdCur = 16;
+    constexpr RegIndex kRegColdBase = 17;
+    constexpr RegIndex kRegColdAddr = 18;
+    const RegIndex scratch[] = {12, 13, 14, 19};
+
+    std::uint64_t dyn = 0; // record-stream cursor (instrs + annotations)
+
+    // --- Prologue -------------------------------------------------
+    std::size_t mark = b.size();
+    b.li64(kRegTable, sim::kGlobalBase);
+    auto emit_alloc = [&](std::uint64_t bytes, std::int32_t slot) {
+        b.li(1, static_cast<std::int32_t>(bytes));
+        b.syscall(static_cast<std::int32_t>(sim::Sys::kAlloc));
+        b.store(Opcode::kSd, 1, kRegTable, slot * 8);
+    };
+    emit_alloc(kHotBytes, kMainBlockSlot);
+    emit_alloc(cold_bytes, kMainBlockSlot + 1);
+    emit_alloc(kInputBufBytes, kInputSlot);
+    b.load(Opcode::kLd, kRegBlock, kRegTable, kMainBlockSlot * 8);
+    b.load(Opcode::kLd, kRegColdBase, kRegTable,
+           (kMainBlockSlot + 1) * 8);
+    b.load(Opcode::kLd, kRegInput, kRegTable, kInputSlot * 8);
+    b.li(kRegColdSize, static_cast<std::int32_t>(cold_bytes));
+    b.li(kRegColdCur, 0);
+    b.li(kRegTick, 0);
+    for (RegIndex r : scratch) {
+        b.li(r, static_cast<std::int32_t>(rng.bounded(1 << 20) + r));
+    }
+    dyn += (b.size() - mark) + 3; // three kAlloc annotations
+
+    GeneratedProgram out;
+
+    // --- Phases ---------------------------------------------------
+    for (unsigned p = 0; p < phases; ++p) {
+        // Per-phase pattern: fresh hot set, fresh cold stride, fresh
+        // slot order and load/store mix.
+        std::vector<std::int32_t> hot_offs;
+        for (unsigned i = 0; i < n_hot; ++i) {
+            hot_offs.push_back(static_cast<std::int32_t>(
+                rng.bounded(kHotBytes - 8) & ~7ull));
+        }
+        std::int32_t stride = static_cast<std::int32_t>(
+            ((rng.bounded(cold_bytes / 2) | 1) * 8) %
+            static_cast<std::int64_t>(cold_bytes));
+        if (stride == 0) stride = 8;
+
+        // Touch slot order (hot/cold interleave), shuffled per phase.
+        std::vector<bool> is_hot;
+        is_hot.insert(is_hot.end(), n_hot, true);
+        is_hot.insert(is_hot.end(), n_cold, false);
+        for (std::size_t i = is_hot.size(); i > 1; --i) {
+            std::size_t j = rng.bounded(i);
+            bool t = is_hot[i - 1];
+            is_hot[i - 1] = is_hot[j];
+            is_hot[j] = t;
+        }
+
+        mark = b.size();
+        b.li64(kRegIter, requests);
+        std::size_t header_static = b.size() - mark;
+
+        mark = b.size();
+        Label top = b.newLabel();
+        b.bind(top);
+        // Request: allocate + header writes.
+        b.li(1, static_cast<std::int32_t>(profile.request_bytes));
+        b.syscall(static_cast<std::int32_t>(sim::Sys::kAlloc));
+        b.mov(kRegChurn, 1);
+        b.store(Opcode::kSd, 12, kRegChurn, 0);
+        b.store(Opcode::kSd, 13, kRegChurn, 8);
+        // Hot/cold touches.
+        unsigned hot_i = 0;
+        for (bool hot : is_hot) {
+            bool is_load = rng.uniform() < profile.load_fraction;
+            if (hot) {
+                std::int32_t off = hot_offs[hot_i++ % hot_offs.size()];
+                if (is_load) {
+                    b.load(Opcode::kLd, scratch[hot_i % 4], kRegBlock,
+                           off);
+                } else {
+                    b.store(Opcode::kSd, scratch[hot_i % 4], kRegBlock,
+                            off);
+                }
+            } else {
+                b.alui(Opcode::kAddi, kRegColdCur, kRegColdCur, stride);
+                b.alu(Opcode::kRemu, kRegColdCur, kRegColdCur,
+                      kRegColdSize);
+                b.alu(Opcode::kAdd, kRegColdAddr, kRegColdBase,
+                      kRegColdCur);
+                if (is_load) {
+                    b.load(Opcode::kLd, 12, kRegColdAddr, 0);
+                } else {
+                    b.store(Opcode::kSd, 12, kRegColdAddr, 0);
+                }
+            }
+        }
+        // ALU work (phase-varied).
+        for (unsigned i = 0; i < 4; ++i) {
+            static constexpr Opcode kOps[] = {Opcode::kAdd, Opcode::kXor,
+                                              Opcode::kMul, Opcode::kSub};
+            b.alu(kOps[rng.bounded(4)], scratch[rng.bounded(4)],
+                  scratch[rng.bounded(4)], scratch[rng.bounded(4)]);
+        }
+        // Free (possibly bug-gated).
+        if (bugs.leak) {
+            // Every 64th request's block is never freed.
+            b.li(kRegTrig, 64);
+            b.alu(Opcode::kRemu, kRegTrig, kRegTick, kRegTrig);
+            Label do_free = b.newLabel();
+            Label after = b.newLabel();
+            b.branch(Opcode::kBne, kRegTrig, isa::kRegZero, do_free);
+            b.jmp(after);
+            b.bind(do_free);
+            b.mov(1, kRegChurn);
+            b.syscall(static_cast<std::int32_t>(sim::Sys::kFree));
+            b.bind(after);
+        } else {
+            b.mov(1, kRegChurn);
+            b.syscall(static_cast<std::int32_t>(sim::Sys::kFree));
+        }
+        if (bugs.use_after_free) {
+            // Every 128th request reloads its freed block.
+            b.li(kRegTrig, 128);
+            b.alu(Opcode::kRemu, kRegTrig, kRegTick, kRegTrig);
+            Label skip = b.newLabel();
+            b.branch(Opcode::kBne, kRegTrig, isa::kRegZero, skip);
+            b.load(Opcode::kLd, 14, kRegChurn, 0);
+            b.bind(skip);
+        }
+        if (bugs.double_free) {
+            // Every 256th request frees its block a second time.
+            b.li(kRegTrig, 256);
+            b.alu(Opcode::kRemu, kRegTrig, kRegTick, kRegTrig);
+            Label skip = b.newLabel();
+            b.branch(Opcode::kBne, kRegTrig, isa::kRegZero, skip);
+            b.mov(1, kRegChurn);
+            b.syscall(static_cast<std::int32_t>(sim::Sys::kFree));
+            b.bind(skip);
+        }
+        b.alui(Opcode::kAddi, kRegTick, kRegTick, 1);
+        b.alui(Opcode::kAddi, kRegIter, kRegIter, -1);
+        b.branch(Opcode::kBne, kRegIter, isa::kRegZero, top);
+        std::size_t body_static = b.size() - mark;
+
+        // Straight-line body: dynamic = static per iteration, plus
+        // the two annotation records (kAlloc + kFree) per request.
+        dyn += header_static + requests * (body_static + 2);
+
+        // Thread churn: a short-lived worker per phase change.
+        if (profile.worker_churn) {
+            b.liLabel(1, worker_entry);
+            b.li(2, static_cast<std::int32_t>(p));
+            b.syscall(static_cast<std::int32_t>(sim::Sys::kSpawn));
+            b.li(1, static_cast<std::int32_t>(p) + 1);
+            b.syscall(static_cast<std::int32_t>(sim::Sys::kJoin));
+        }
+
+        // Phase marker: SYS_WRITE whose kOutput annotation carries the
+        // phase number (aux = p + 1).
+        b.mov(1, kRegInput);
+        b.li(2, static_cast<std::int32_t>(p) + 1);
+        b.syscall(static_cast<std::int32_t>(sim::Sys::kWrite));
+        dyn += 4; // mov + li + syscall records + the kOutput annotation
+        if (exact_markers) {
+            out.phase_marker_records.push_back(dyn - 1);
+        }
+    }
+
+    // --- Epilogue -------------------------------------------------
+    auto emit_free = [&](std::int32_t slot) {
+        b.load(Opcode::kLd, 1, kRegTable, slot * 8);
+        b.syscall(static_cast<std::int32_t>(sim::Sys::kFree));
+    };
+    emit_free(kInputSlot);
+    emit_free(kMainBlockSlot);
+    emit_free(kMainBlockSlot + 1);
+    b.halt();
+
+    if (profile.worker_churn) {
+        // Worker body: one short request of its own, then exit.
+        b.bind(worker_entry);
+        b.li(1, 256);
+        b.syscall(static_cast<std::int32_t>(sim::Sys::kAlloc));
+        b.mov(kRegChurn, 1);
+        b.store(Opcode::kSd, 12, kRegChurn, 0);
+        b.load(Opcode::kLd, 13, kRegChurn, 0);
+        b.mov(1, kRegChurn);
+        b.syscall(static_cast<std::int32_t>(sim::Sys::kFree));
+        b.syscall(static_cast<std::int32_t>(sim::Sys::kExit));
+    }
+
+    std::string error;
+    out.program = b.build(sim::kCodeBase, &error);
+    LBA_ASSERT(error.empty(), "request program failed to build");
+    out.planned_instructions = static_cast<std::uint64_t>(
+        static_cast<double>(phases) * static_cast<double>(requests) *
+        per_request);
+    out.planned_mem_fraction = (2.0 + n_hot + n_cold) / per_request;
+    out.iterations = requests;
+    out.requests = requests * phases;
+    out.hot_touches = n_hot;
+    out.cold_touches = n_cold;
+    return out;
+}
+
 } // namespace
 
 GeneratedProgram
@@ -672,6 +947,9 @@ generate(const Profile& profile, const BugInjection& bugs,
 {
     std::uint64_t target =
         instructions ? instructions : profile.target_instructions;
+    if (profile.phases > 0) {
+        return generateRequestServing(profile, bugs, target);
+    }
     Layout layout = planLayout(profile, target);
     Plan plan = planBody(profile, layout, target);
 

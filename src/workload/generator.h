@@ -58,8 +58,29 @@ struct GeneratedProgram
     std::uint64_t planned_instructions = 0;
     /** Planned memory-reference fraction (approximate). */
     double planned_mem_fraction = 0.0;
-    /** Main-loop iterations per thread. */
+    /** Main-loop iterations per thread (requests served per phase for
+     *  request-serving programs). */
     std::uint64_t iterations = 0;
+
+    // --- Request-serving metadata (Profile::phases > 0) -------------
+
+    /** Total requests served across all phases. */
+    std::uint64_t requests = 0;
+    /**
+     * Record-stream index (zero-based, counting retired-instruction
+     * records AND annotation records, as log::RecordingObserver sees
+     * them) of each phase's ending kOutput marker record. EXACT by
+     * construction: the serving loop is straight-line per request, so
+     * dynamic counts follow from static ones. Only populated for
+     * single-threaded, bug-free request programs — worker churn makes
+     * interleaving scheduler-dependent and injected bugs make
+     * per-request record counts data-dependent.
+     */
+    std::vector<std::uint64_t> phase_marker_records;
+    /** Per-request hot-buffer touches (for the hot/cold ratio test). */
+    unsigned hot_touches = 0;
+    /** Per-request cold-buffer touches. */
+    unsigned cold_touches = 0;
 };
 
 /**

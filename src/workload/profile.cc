@@ -180,6 +180,42 @@ makeMultiThreaded()
     return suite;
 }
 
+std::vector<Profile>
+makeServer()
+{
+    std::vector<Profile> suite;
+
+    // req_serve: a request-serving server loop — many short requests
+    // (allocate, touch a hot set, stream cold data, free) across
+    // phases whose access pattern changes at each SYS_WRITE-marked
+    // boundary. Single-threaded so phase markers land at exactly
+    // computable record indices (GeneratedProgram::phase_marker_records).
+    Profile serve;
+    serve.name = "req_serve";
+    serve.target_instructions = 2'000'000;
+    serve.mem_fraction = 0.45;
+    serve.load_fraction = 0.70;
+    serve.working_set_kb = 512;
+    serve.allocs_per_kinstr = 40.0; // one block per request
+    serve.input_bytes_per_kinstr = 0.0;
+    serve.phases = 4;
+    serve.hot_fraction = 0.875;
+    serve.request_bytes = 64;
+    serve.seed = 201;
+    suite.push_back(serve);
+
+    // req_churn: the same serving loop plus thread churn — a
+    // short-lived worker spawned and joined at every phase change,
+    // exercising tenant-internal thread arrival/departure.
+    Profile churn = serve;
+    churn.name = "req_churn";
+    churn.worker_churn = true;
+    churn.seed = 202;
+    suite.push_back(churn);
+
+    return suite;
+}
+
 } // namespace
 
 const std::vector<Profile>&
@@ -208,10 +244,20 @@ fullSuite()
     return suite;
 }
 
+const std::vector<Profile>&
+serverSuite()
+{
+    static const std::vector<Profile> suite = makeServer();
+    return suite;
+}
+
 const Profile*
 findProfile(const std::string& name)
 {
     for (const Profile& p : fullSuite()) {
+        if (p.name == name) return &p;
+    }
+    for (const Profile& p : serverSuite()) {
         if (p.name == name) return &p;
     }
     return nullptr;

@@ -72,6 +72,31 @@ struct Profile
 
     /** Program-generation seed (distinct code per benchmark). */
     std::uint64_t seed = 1;
+
+    // --- Request-serving shape (server workloads) -------------------
+    // When phases > 0 the generator emits the request-serving program
+    // shape instead of the benchmark loop: `phases` serving phases,
+    // each a counted run of short requests (allocate, touch hot/cold
+    // data, free), each phase ending with a SYS_WRITE phase marker
+    // whose kOutput annotation the platform sees in the record stream.
+    // Phase bodies are regenerated per phase (different hot set, cold
+    // stride, instruction mix) so the access pattern genuinely changes
+    // at each boundary.
+
+    /** Number of serving phases (0 = classic benchmark shape). */
+    unsigned phases = 0;
+    /** Requests per phase (0 = derive from target_instructions). */
+    std::uint64_t requests_per_phase = 0;
+    /** Of per-request hot/cold data touches, the fraction aimed at the
+     *  small L1-resident hot buffer (the rest stream through the cold
+     *  buffer, whose size working_set_kb controls). */
+    double hot_fraction = 0.875;
+    /** Bytes allocated per request. */
+    std::uint32_t request_bytes = 64;
+    /** Spawn/join a short-lived worker thread at each phase change
+     *  (thread churn; makes record interleaving scheduler-dependent,
+     *  so phase marker indices are not reported for these). */
+    bool worker_churn = false;
 };
 
 /** The seven single-threaded benchmarks of Figure 2(a)/(b). */
@@ -83,7 +108,16 @@ const std::vector<Profile>& multiThreadedSuite();
 /** All nine benchmarks. */
 const std::vector<Profile>& fullSuite();
 
-/** Look up a profile by benchmark name (nullptr when unknown). */
+/**
+ * The server-shaped request-serving profiles (req_serve, req_churn).
+ * Kept out of fullSuite(): the paper's figures run the paper's nine
+ * benchmarks; these exist to exercise the scheduler and the
+ * tag/leak lifeguards under production-shaped load.
+ */
+const std::vector<Profile>& serverSuite();
+
+/** Look up a profile by benchmark name (nullptr when unknown).
+ *  Searches the paper suite and the server suite. */
 const Profile* findProfile(const std::string& name);
 
 } // namespace lba::workload

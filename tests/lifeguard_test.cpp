@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include "lifeguard/compiler.h"
 #include "lifeguard/dispatch.h"
 #include "lifeguard/finding.h"
+#include "lifeguard/ir.h"
 #include "lifeguard/lifeguard.h"
 #include "lifeguard/shadow_memory.h"
 
@@ -353,6 +355,190 @@ TEST(Lifeguard, FindingAccumulation)
     EXPECT_EQ(r.findings().size(), 2u);
     EXPECT_EQ(r.countFindings(FindingKind::kOther), 2u);
     EXPECT_EQ(r.countFindings(FindingKind::kDataRace), 0u);
+}
+
+/**
+ * Mixed-coverage IR lifeguard: a pure-charge handler (lowers to
+ * kConst), a kernel handler (lowers to kProgram) and everything else
+ * unregistered (kSkip) — one guard exercising all three compiler
+ * classifications at once, the shape BoundsCheck and MemLeak have.
+ */
+class MixedIrLifeguard : public Lifeguard
+{
+  public:
+    MixedIrLifeguard()
+    {
+        onEvent<&MixedIrLifeguard::onAlu>(log::EventType::kIntAlu);
+        onEvent<&MixedIrLifeguard::onLoad>(log::EventType::kLoad);
+        ir_.define(log::EventType::kIntAlu).charge(3);
+        ir_.define(log::EventType::kLoad)
+            .charge(1)
+            .kernel([](Lifeguard& self, const log::EventRecord& r,
+                       auto& cost) {
+                static_cast<MixedIrLifeguard&>(self).loadBody(r, cost);
+            });
+    }
+
+    const char* name() const override { return "MixedIr"; }
+
+    const ir::LifeguardIR*
+    handlerIR() const override
+    {
+        return &ir_;
+    }
+
+    void
+    onAlu(const log::EventRecord&, CostSink& cost)
+    {
+        cost.instrs(3);
+    }
+
+    void
+    onLoad(const log::EventRecord& record, CostSink& cost)
+    {
+        cost.instrs(1);
+        loadBody(record, cost);
+    }
+
+    template <typename Cost>
+    void
+    loadBody(const log::EventRecord& record, Cost& cost)
+    {
+        cost.instrs(2);
+        cost.memAccess(kShadowBase + record.addr / 8, false);
+        ++loads;
+    }
+
+    int loads = 0;
+
+  private:
+    ir::LifeguardIR ir_;
+};
+
+TEST(Compiler, MixedCoverageClassification)
+{
+    MixedIrLifeguard guard;
+    CompiledDispatch compiled =
+        compileHandlers(guard, *guard.handlerIR());
+
+    auto handler = [&](log::EventType type) -> const CompiledHandler& {
+        return compiled.handlers[static_cast<std::size_t>(type)];
+    };
+    EXPECT_EQ(handler(log::EventType::kIntAlu).kind,
+              CompiledHandler::Kind::kConst);
+    EXPECT_EQ(handler(log::EventType::kIntAlu).const_cycles, 3u);
+    EXPECT_EQ(handler(log::EventType::kLoad).kind,
+              CompiledHandler::Kind::kProgram);
+    ASSERT_NE(handler(log::EventType::kLoad).program, nullptr);
+    EXPECT_EQ(handler(log::EventType::kStore).kind,
+              CompiledHandler::Kind::kSkip);
+    EXPECT_EQ(handler(log::EventType::kSyscall).kind,
+              CompiledHandler::Kind::kSkip);
+    // One kProgram entry is enough to forfeit the bulk fast path.
+    EXPECT_FALSE(compiled.all_const);
+}
+
+TEST(Compiler, MixedCoverageFusedMatchesBatched)
+{
+    // The mixed guard compiles — and drains cycle-identically through
+    // the fused tier (kConst run + kProgram run + kSkip run in one
+    // batch).
+    std::vector<log::EventRecord> records(48);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        records[i].type = (i % 3 == 0) ? log::EventType::kIntAlu
+                          : (i % 3 == 1)
+                              ? log::EventType::kLoad
+                              : log::EventType::kStore;
+        records[i].addr = 0x10000000 + i * 8;
+    }
+
+    mem::CacheHierarchy fused_hierarchy(mem::HierarchyConfig{});
+    MixedIrLifeguard fused_guard;
+    DispatchEngine fused(fused_guard, fused_hierarchy);
+    EXPECT_TRUE(fused.fusedTierCompiled());
+    std::vector<Cycles> fused_costs(records.size());
+    fused.assumeFunctionalOwner();
+    Cycles fused_total = fused.consumeBatchFused(
+        records.data(), records.size(), fused_costs.data());
+
+    mem::CacheHierarchy batched_hierarchy(mem::HierarchyConfig{});
+    MixedIrLifeguard batched_guard;
+    DispatchEngine batched(batched_guard, batched_hierarchy);
+    std::vector<Cycles> batched_costs(records.size());
+    batched.assumeFunctionalOwner();
+    Cycles batched_total = batched.consumeBatch(
+        records.data(), records.size(), batched_costs.data());
+
+    EXPECT_EQ(fused_total, batched_total);
+    EXPECT_EQ(fused_costs, batched_costs);
+    EXPECT_EQ(fused_guard.loads, batched_guard.loads);
+}
+
+/** Table registrations and IR descriptions must cover the same types:
+ *  either direction of drift is a construction-time panic, not a
+ *  silently diverging fused tier. */
+class RegisteredWithoutIr : public Lifeguard
+{
+  public:
+    RegisteredWithoutIr()
+    {
+        onEvent<&RegisteredWithoutIr::onAny>(log::EventType::kIntAlu);
+        onEvent<&RegisteredWithoutIr::onAny>(log::EventType::kLoad);
+        ir_.define(log::EventType::kIntAlu).charge(1);
+        // kLoad registered above but deliberately not described.
+    }
+    const char* name() const override { return "NoIr"; }
+    const ir::LifeguardIR*
+    handlerIR() const override
+    {
+        return &ir_;
+    }
+    void onAny(const log::EventRecord&, CostSink& cost)
+    {
+        cost.instrs(1);
+    }
+
+  private:
+    ir::LifeguardIR ir_;
+};
+
+class IrWithoutRegistration : public Lifeguard
+{
+  public:
+    IrWithoutRegistration()
+    {
+        onEvent<&IrWithoutRegistration::onAny>(log::EventType::kIntAlu);
+        ir_.define(log::EventType::kIntAlu).charge(1);
+        // Described below, never registered above.
+        ir_.define(log::EventType::kStore).charge(2);
+    }
+    const char* name() const override { return "NoReg"; }
+    const ir::LifeguardIR*
+    handlerIR() const override
+    {
+        return &ir_;
+    }
+    void onAny(const log::EventRecord&, CostSink& cost)
+    {
+        cost.instrs(1);
+    }
+
+  private:
+    ir::LifeguardIR ir_;
+};
+
+TEST(CompilerDeathTest, RegisteredHandlerWithoutIrDescriptionPanics)
+{
+    RegisteredWithoutIr guard;
+    EXPECT_DEATH(compileHandlers(guard, *guard.handlerIR()),
+                 "registered handler without an IR description");
+}
+
+TEST(CompilerDeathTest, IrDescriptionForUnregisteredTypePanics)
+{
+    IrWithoutRegistration guard;
+    EXPECT_DEATH(compileHandlers(guard, *guard.handlerIR()),
+                 "IR description for an unregistered event type");
 }
 
 } // namespace

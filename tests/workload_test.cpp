@@ -232,5 +232,185 @@ TEST(Generator, PlannedMetadataIsPopulated)
     EXPECT_GT(g.iterations, 0u);
 }
 
+// --- Request-serving (server-shaped) profiles -----------------------
+
+TEST(ServerProfiles, SuiteIsSeparateFromThePaperSuite)
+{
+    // The paper's 7+2 benchmark table must not grow: the server
+    // profiles live in their own suite and are only reachable by name.
+    EXPECT_EQ(serverSuite().size(), 2u);
+    EXPECT_EQ(serverSuite()[0].name, "req_serve");
+    EXPECT_EQ(serverSuite()[1].name, "req_churn");
+    EXPECT_EQ(fullSuite().size(), 9u);
+    ASSERT_NE(findProfile("req_serve"), nullptr);
+    ASSERT_NE(findProfile("req_churn"), nullptr);
+    EXPECT_GT(findProfile("req_serve")->phases, 0u);
+    EXPECT_TRUE(findProfile("req_churn")->worker_churn);
+    EXPECT_FALSE(findProfile("req_serve")->worker_churn);
+}
+
+TEST(ServerProfiles, DeterministicEventStream)
+{
+    for (const char* name : {"req_serve", "req_churn"}) {
+        SCOPED_TRACE(name);
+        auto generated = generate(*findProfile(name), {}, 30000);
+        auto first = recordStream(generated.program);
+        auto second = recordStream(generated.program);
+        ASSERT_FALSE(first.empty());
+        ASSERT_EQ(first.size(), second.size());
+        for (std::size_t i = 0; i < first.size(); ++i) {
+            ASSERT_EQ(first[i], second[i]) << "record " << i;
+        }
+    }
+}
+
+TEST(ServerProfiles, DeterministicEventStreamWithBugs)
+{
+    BugInjection bugs;
+    bugs.use_after_free = true;
+    bugs.leak = true;
+    bugs.double_free = true;
+    auto generated = generate(*findProfile("req_serve"), bugs, 30000);
+    auto first = recordStream(generated.program);
+    auto second = recordStream(generated.program);
+    ASSERT_FALSE(first.empty());
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        ASSERT_EQ(first[i], second[i]) << "record " << i;
+    }
+}
+
+TEST(ServerProfiles, RunToCleanCompletion)
+{
+    for (const char* name : {"req_serve", "req_churn"}) {
+        SCOPED_TRACE(name);
+        auto generated = generate(*findProfile(name), {}, 100000);
+        sim::Process process;
+        process.load(generated.program);
+        sim::RunResult result = process.run(nullptr);
+        EXPECT_TRUE(result.all_exited);
+        EXPECT_FALSE(result.deadlocked);
+        EXPECT_EQ(result.faulted_threads, 0u);
+        // Every request block and the prologue buffers were freed.
+        EXPECT_EQ(process.heap().liveBlocks(), 0u);
+        EXPECT_GT(generated.requests, 0u);
+        EXPECT_EQ(generated.requests,
+                  generated.iterations *
+                      findProfile(name)->phases);
+    }
+}
+
+TEST(ServerProfiles, PhaseMarkersLandAtDocumentedRecordIndices)
+{
+    // phase_marker_records promises EXACT record-stream indices for
+    // bug-free single-threaded request programs: the serving loop is
+    // straight-line per request, so dynamic counts follow from static
+    // ones. Each marker is the phase's kOutput record with the phase
+    // ordinal (1-based) as its payload length.
+    const Profile* profile = findProfile("req_serve");
+    auto generated = generate(*profile, {}, 40000);
+    auto stream = recordStream(generated.program);
+
+    ASSERT_EQ(generated.phase_marker_records.size(), profile->phases);
+    std::uint64_t previous = 0;
+    for (unsigned p = 0; p < profile->phases; ++p) {
+        SCOPED_TRACE(p);
+        std::uint64_t index = generated.phase_marker_records[p];
+        ASSERT_LT(index, stream.size());
+        EXPECT_GT(index, previous);
+        previous = index;
+        EXPECT_EQ(stream[index].type, log::EventType::kOutput);
+        EXPECT_EQ(stream[index].aux, p + 1u);
+    }
+
+    // The markers are the ONLY kOutput records (the profile ingests no
+    // input and writes nothing else), so exactness is two-sided.
+    std::size_t outputs = 0;
+    for (const log::EventRecord& record : stream) {
+        if (record.type == log::EventType::kOutput) ++outputs;
+    }
+    EXPECT_EQ(outputs, profile->phases);
+}
+
+TEST(ServerProfiles, BugsAndChurnForfeitExactMarkers)
+{
+    BugInjection bugs;
+    bugs.leak = true;
+    auto buggy = generate(*findProfile("req_serve"), bugs, 40000);
+    EXPECT_TRUE(buggy.phase_marker_records.empty());
+    auto churn = generate(*findProfile("req_churn"), {}, 40000);
+    EXPECT_TRUE(churn.phase_marker_records.empty());
+}
+
+TEST(ServerProfiles, HotColdSplitMatchesHotFraction)
+{
+    // Dynamic property: of the accesses into the two prologue buffers
+    // (hot first, cold second — the first two kAlloc records), the hot
+    // share matches the profile's hot_fraction.
+    const Profile* profile = findProfile("req_serve");
+    auto generated = generate(*profile, {}, 40000);
+    auto stream = recordStream(generated.program);
+
+    ASSERT_GT(generated.hot_touches, generated.cold_touches);
+    Addr hot_base = 0, cold_base = 0;
+    std::uint64_t hot_bytes = 0, cold_bytes = 0;
+    for (const log::EventRecord& record : stream) {
+        if (record.type != log::EventType::kAlloc) continue;
+        if (hot_bytes == 0) {
+            hot_base = record.addr;
+            hot_bytes = record.aux;
+        } else if (cold_bytes == 0) {
+            cold_base = record.addr;
+            cold_bytes = record.aux;
+            break;
+        }
+    }
+    ASSERT_GT(hot_bytes, 0u);
+    ASSERT_GT(cold_bytes, hot_bytes); // cold is the big buffer
+
+    std::uint64_t hot_accesses = 0, cold_accesses = 0;
+    for (const log::EventRecord& record : stream) {
+        if (record.type != log::EventType::kLoad &&
+            record.type != log::EventType::kStore) {
+            continue;
+        }
+        if (record.addr >= hot_base &&
+            record.addr < hot_base + hot_bytes) {
+            ++hot_accesses;
+        } else if (record.addr >= cold_base &&
+                   record.addr < cold_base + cold_bytes) {
+            ++cold_accesses;
+        }
+    }
+    ASSERT_GT(hot_accesses + cold_accesses, 1000u);
+    double hot_share =
+        static_cast<double>(hot_accesses) /
+        static_cast<double>(hot_accesses + cold_accesses);
+    EXPECT_NEAR(hot_share, profile->hot_fraction, 0.05);
+}
+
+TEST(ServerProfiles, ChurnSpawnsOneWorkerPerPhase)
+{
+    auto generated = generate(*findProfile("req_churn"), {}, 40000);
+    class SpawnCounter : public sim::RetireObserver
+    {
+      public:
+        void onRetire(const sim::Retired&) override {}
+        void
+        onOsEvent(const sim::OsEvent& e) override
+        {
+            if (e.type == sim::OsEventType::kThreadSpawn) ++spawns;
+        }
+        int spawns = 0;
+    };
+    SpawnCounter counter;
+    sim::Process process;
+    process.load(generated.program);
+    sim::RunResult result = process.run(&counter);
+    EXPECT_TRUE(result.all_exited);
+    EXPECT_EQ(counter.spawns,
+              static_cast<int>(findProfile("req_churn")->phases));
+}
+
 } // namespace
 } // namespace lba::workload

@@ -4,7 +4,7 @@
  * and print the full report: the command-line face of the library.
  *
  * Usage:
- *   lba_run <benchmark> <addrcheck|taintcheck|lockset>
+ *   lba_run <benchmark> <addrcheck|taintcheck|lockset|bounds|memleak>
  *           [--instrs N] [--platform lba|dbi|both] [--shards N]
  *           [--transport-bw BYTES_PER_CYCLE] [--codec NAME]
  *           [--bugs uaf,double-free,leak,tainted-jump,race]
@@ -45,7 +45,9 @@
 #include "compress/registry.h"
 #include "core/runner.h"
 #include "lifeguards/addrcheck.h"
+#include "lifeguards/boundscheck.h"
 #include "lifeguards/lockset.h"
+#include "lifeguards/memleak.h"
 #include "lifeguards/taintcheck.h"
 #include "replay/containment.h"
 #include "sched/pool.h"
@@ -63,7 +65,7 @@ usage()
     std::fprintf(
         stderr,
         "usage: lba_run <benchmark[,benchmark...]> "
-        "<addrcheck|taintcheck|lockset>\n"
+        "<addrcheck|taintcheck|lockset|bounds|memleak>\n"
         "               [--instrs N] [--platform lba|dbi|both]\n"
         "               [--shards N] [--transport-bw BYTES_PER_CYCLE]\n"
         "               [--codec NAME]\n"
@@ -526,6 +528,14 @@ main(int argc, char** argv)
     } else if (lifeguard_name == "lockset") {
         factory = [] {
             return std::make_unique<lifeguards::LockSet>();
+        };
+    } else if (lifeguard_name == "bounds") {
+        factory = [] {
+            return std::make_unique<lifeguards::BoundsCheck>();
+        };
+    } else if (lifeguard_name == "memleak") {
+        factory = [] {
+            return std::make_unique<lifeguards::MemLeak>();
         };
     } else {
         return usage();

@@ -48,10 +48,18 @@ cmdList()
 {
     std::printf("benchmarks (paper Section 3 suite):\n");
     for (const workload::Profile& p : workload::fullSuite()) {
-        std::printf("  %-8s %u thread(s), %4.0f%% memory refs, "
+        std::printf("  %-9s %u thread(s), %4.0f%% memory refs, "
                     "%u KiB working set\n",
                     p.name.c_str(), p.threads, p.mem_fraction * 100,
                     p.working_set_kb);
+    }
+    std::printf("benchmarks (request-serving suite):\n");
+    for (const workload::Profile& p : workload::serverSuite()) {
+        std::printf("  %-9s %u thread(s), %4.0f%% memory refs, "
+                    "%u KiB working set, %u phases%s\n",
+                    p.name.c_str(), p.threads, p.mem_fraction * 100,
+                    p.working_set_kb, p.phases,
+                    p.worker_churn ? ", worker churn" : "");
     }
     return 0;
 }
